@@ -1,0 +1,87 @@
+"""E8 — ablations: the quirk, actuator precision, scheduler choice,
+the §VII defense, and the HTTP/1.1 baseline."""
+
+from conftest import trials
+
+from repro.experiments import ablations
+
+
+def test_bench_quirk(run_once):
+    result = run_once(ablations.run_quirk, trials=trials(10), seed=7)
+    print()
+    print(result.render())
+
+
+def test_bench_actuator(run_once):
+    result = run_once(ablations.run_actuator, trials=trials(8), seed=7)
+    print()
+    print(result.render())
+    rows = {row[0]: row for row in result.rows_data}
+    ideal = float(rows["ideal (no noise)"][2].split("/")[0])
+    real = float(rows["realistic (tc/netem)"][2].split("/")[0])
+    # A perfect actuator recovers at least as much of the sequence.
+    assert ideal >= real
+
+
+def test_bench_scheduler(run_once):
+    result = run_once(ablations.run_scheduler, trials=trials(8), seed=7)
+    print()
+    print(result.render())
+    rows = {row[0]: row for row in result.rows_data}
+    fifo = float(rows["FIFO (sequential)"][1].rstrip("%"))
+    rr = float(rows["round-robin (multi-threaded)"][1].rstrip("%"))
+    # A FIFO server never multiplexes: passive privacy gone.
+    assert fifo >= rr
+
+
+def test_bench_defense(run_once):
+    result = run_once(ablations.run_defense, trials=trials(8), seed=7)
+    print()
+    print(result.render())
+    rows = {row[0]: row for row in result.rows_data}
+    vanilla_truth = float(rows["vanilla"][1].rstrip("%"))
+    defended_truth = float(rows["defended (shuffled)"][1].rstrip("%"))
+    # Randomizing the request order hides the true preference order.
+    assert defended_truth < vanilla_truth
+
+
+def test_bench_h1_baseline(run_once):
+    result = run_once(ablations.run_h1_baseline, trials=trials(5), seed=7)
+    print()
+    print(result.render())
+
+
+def test_bench_push_defense(run_once):
+    result = run_once(ablations.run_push_defense, trials=trials(6), seed=7)
+    print()
+    print(result.render())
+    rows = {row[0]: row for row in result.rows_data}
+    vanilla = float(rows["vanilla"][1].rstrip("%"))
+    defended = float(rows["push-defended"][1].rstrip("%"))
+    assert defended < vanilla
+
+
+def test_bench_success_accounting(run_once):
+    result = run_once(
+        ablations.run_success_accounting, trials=trials(10), seed=7
+    )
+    print()
+    print(result.render())
+    rows = {row[0]: float(row[1].rstrip("%")) for row in result.rows_data}
+    loose = rows["identified (size match alone)"]
+    papers = rows["identified + any serving clean (paper's count)"]
+    strict = rows["identified + original serving clean (strict)"]
+    assert loose >= papers >= strict
+
+
+def test_bench_tcp_variants(run_once):
+    result = run_once(ablations.run_tcp_variants, trials=trials(6), seed=7)
+    print()
+    print(result.render())
+    rows = {row[0]: row for row in result.rows_data}
+    # SACK repairs holes without resending everything.
+    assert int(rows["reno + sack"][2]) <= int(rows["reno"][2])
+    assert int(rows["cubic + sack"][2]) <= int(rows["cubic"][2])
+    # The attack keeps a majority success rate on every stack.
+    for row in result.rows_data:
+        assert float(row[1].rstrip("%")) >= 50.0

@@ -1,0 +1,15 @@
+"""E2 — baseline degree of multiplexing (paper §IV: HTML ≈98 %,
+images 80–99 %, HTML un-multiplexed in 32 % of downloads)."""
+
+from conftest import trials
+
+from repro.experiments import baseline
+
+
+def test_bench_baseline(run_once):
+    result = run_once(baseline.run, trials=trials(25), seed=7)
+    print()
+    print(result.render())
+    # Shape assertions: heavy multiplexing with a non-trivial clean tail.
+    assert result.image_mean_degree > 0.6
+    assert 5.0 <= result.html_not_multiplexed_pct <= 60.0

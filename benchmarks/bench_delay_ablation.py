@@ -1,0 +1,20 @@
+"""E7 / §IV-A — uniform delay is useless (the paper's negative result)."""
+
+from conftest import trials
+
+from repro.experiments import delay_ablation
+
+
+def test_bench_delay_ablation(run_once):
+    result = run_once(delay_ablation.run, trials=trials(10), seed=7)
+    print()
+    print(result.render())
+    rows = result.rows_data
+    base = rows[0]
+    for row in rows[1:]:
+        # Inter-GET gaps at the gateway are unchanged by uniform delay.
+        assert row.mean_get_gap_ms == base.mean_get_gap_ms or \
+            abs(row.mean_get_gap_ms - base.mean_get_gap_ms) / \
+            base.mean_get_gap_ms < 0.05
+        # Multiplexing is unchanged.
+        assert abs(row.not_multiplexed_pct - base.not_multiplexed_pct) <= 15

@@ -1,0 +1,13 @@
+"""E1 / Figure 1 — object-size estimation: sequential vs multiplexed."""
+
+from conftest import trials
+
+from repro.experiments import fig1
+
+
+def test_bench_fig1(run_once):
+    result = run_once(fig1.run, seed=7)
+    print()
+    print(result.render())
+    assert result.sequential.both_identified
+    assert not result.pipelined.both_identified

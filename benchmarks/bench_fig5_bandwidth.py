@@ -1,0 +1,26 @@
+"""E4 / Figure 5 — effect of bandwidth limitation.
+
+The paper's curves (retransmissions falling with bandwidth, success
+peaking at 800 Mbps) stem from gateway artifacts our clean token-bucket
+does not have; EXPERIMENTS.md discusses the divergence.  The benchmark
+reports the same quantities plus the duplicate-only success column —
+the confound the paper dissects, which our ground truth isolates.
+"""
+
+from conftest import trials
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5(run_once):
+    result = run_once(fig5.run, trials=trials(15), seed=7)
+    print()
+    print(result.render())
+    rows = result.rows_data
+    assert len(rows) == 5
+    # The attack's success criterion stays meaningful at all rates.
+    assert all(0.0 <= row.success_pct <= 100.0 for row in rows)
+    # Duplicate-only successes never exceed total successes.
+    assert all(
+        row.duplicate_only_successes <= row.successes for row in rows
+    )

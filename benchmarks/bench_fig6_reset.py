@@ -1,0 +1,18 @@
+"""E5 / §IV-D (Figure 6) — targeted drops forcing an HTTP/2 stream
+reset.  Paper: ≈90 % success for the object of interest at an 80 % drop
+rate; higher rates break the connection."""
+
+from conftest import trials
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6(run_once):
+    result = run_once(fig6.run, trials=trials(15), seed=7)
+    print()
+    print(result.render())
+    by_rate = {row.drop_rate: row for row in result.rows_data}
+    # The paper's operating point: high success at the 80% drop rate.
+    assert by_rate[0.8].success_pct >= 70.0
+    # Resets were actually forced.
+    assert by_rate[0.8].resets_observed >= by_rate[0.8].trials

@@ -1,0 +1,29 @@
+"""E13 — closed-world fingerprinting over equal-total pages.
+
+Multiplexing lowers classification accuracy only moderately (consistent
+with the paper's reference [24]); the serialization attack pushes it
+near-perfect by exposing per-object sizes."""
+
+from conftest import trials
+
+from repro.experiments import fingerprint_study
+
+
+def test_bench_fingerprint(run_once):
+    result = run_once(
+        fingerprint_study.run,
+        pages=6,
+        train_visits=3,
+        test_visits=2,
+        seed=7,
+    )
+    print()
+    print(result.render())
+    rows = {row[0]: float(row[1].rstrip("%")) for row in result.rows_data}
+    attacked = rows["attacked (serialized)"]
+    passive = rows["passive (multiplexed)"]
+    assert attacked >= passive
+    assert attacked >= 75.0
+    # Both sit well above chance — H2 multiplexing alone is not a
+    # fingerprinting defense (the paper's premise).
+    assert passive > result.chance_pct

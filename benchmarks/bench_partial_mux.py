@@ -1,0 +1,17 @@
+"""E11 / §VII — inference from partly multiplexed objects.
+
+Subset-sum explanation of merged bursts recovers emblems that exact
+size matching misses at a mild jitter setting."""
+
+from conftest import trials
+
+from repro.experiments import partial_mux
+
+
+def test_bench_partial_mux(run_once):
+    result = run_once(partial_mux.run, trials=trials(8), seed=7)
+    print()
+    print(result.render())
+    rows = {row[0]: float(row[1].rstrip("%")) for row in result.rows_data}
+    assert rows["+ subset-sum blob explanation"] >= \
+        rows["exact size match only"]

@@ -1,0 +1,13 @@
+"""The reproduction scorecard: every headline paper number vs measured,
+with a per-row shape verdict.  The whole reproduction in one table."""
+
+from conftest import trials
+
+from repro.experiments import scorecard
+
+
+def test_bench_scorecard(run_once):
+    card = run_once(scorecard.run, trials=trials(12), seed=7)
+    print()
+    print(card.render())
+    assert card.all_shapes_hold

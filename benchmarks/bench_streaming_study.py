@@ -1,0 +1,22 @@
+"""E10 / §VII — the serialization attack against adaptive streaming.
+
+The player's prefetch pipelining multiplexes consecutive video
+segments; a passive observer misreads the bitrate ladder, the attacked
+observer recovers the quality sequence."""
+
+from conftest import trials
+
+from repro.experiments import streaming_study
+
+
+def test_bench_streaming(run_once):
+    result = run_once(
+        streaming_study.run, trials=trials(5), seed=7, segments=12
+    )
+    print()
+    print(result.render())
+    rows = {row[0]: row for row in result.rows_data}
+    passive = float(rows["passive"][1].rstrip("%"))
+    attacked = float(rows["attacked (GET spacing)"][1].rstrip("%"))
+    assert attacked > passive + 30.0
+    assert attacked >= 70.0

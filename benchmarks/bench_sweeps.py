@@ -1,0 +1,38 @@
+"""E14 — sensitivity sweeps around the paper's design choices.
+
+The paper fixed 50 ms jitter / 6 s drops / 80 ms escalated spacing;
+these sweeps map the neighbourhoods of those knobs."""
+
+from conftest import trials
+
+from repro.experiments import sweeps
+
+
+def test_bench_jitter_curve(run_once):
+    result = run_once(
+        sweeps.jitter_curve, trials=trials(8), seed=7,
+        spacings_ms=(0, 25, 50, 75, 100),
+    )
+    print()
+    print(result.render())
+    # Serialization improves from baseline to mid-range.
+    assert result.primary[2] > result.primary[0]
+    # Retransmissions increase monotonically in the spacing.
+    assert result.secondary == sorted(result.secondary)
+
+
+def test_bench_drop_duration(run_once):
+    result = run_once(sweeps.drop_duration, trials=trials(8), seed=7)
+    print()
+    print(result.render())
+    # Longer windows force resets; short ones may not.
+    assert result.secondary[-2] >= result.secondary[0]
+
+
+def test_bench_escalation_curve(run_once):
+    result = run_once(sweeps.escalation_curve, trials=trials(8), seed=7)
+    print()
+    print(result.render())
+    by_spacing = dict(zip(result.xs, result.primary))
+    # The paper's 80 ms choice is at or near the sweep's optimum.
+    assert by_spacing[80] >= max(result.primary) - 1.0

@@ -1,0 +1,24 @@
+"""E3 / Table I — effect of jitter on HTTP/2 multiplexing.
+
+Paper: not-multiplexed 32/46/54/54 %, retransmissions +0/33/130/194 %.
+Our testbed: same shape (monotone rise saturating past 50 ms;
+retransmissions strictly increasing), higher absolute levels.
+"""
+
+from conftest import trials
+
+from repro.experiments import table1
+
+
+def test_bench_table1(run_once):
+    result = run_once(table1.run, trials=trials(25), seed=7)
+    print()
+    print(result.render())
+    rows = result.rows_data
+    # Shape: serialization improves with jitter, then saturates.
+    assert rows[0].not_multiplexed_pct < rows[2].not_multiplexed_pct
+    assert rows[3].not_multiplexed_pct <= rows[2].not_multiplexed_pct + 15
+    # Shape: retransmissions grow monotonically with jitter.
+    counts = [row.retransmissions for row in rows]
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0]

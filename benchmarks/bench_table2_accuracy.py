@@ -1,0 +1,24 @@
+"""E6 / Table II — end-to-end prediction accuracy.
+
+Paper: single-object 100 % for all nine objects; sequence mode
+HTML 90 %, I1..I8 = 90/85/81/80/62/64/78/64 % (declining tail).
+"""
+
+from conftest import trials
+
+from repro.experiments import table2
+
+
+def test_bench_table2(run_once):
+    result = run_once(table2.run, trials=trials(20), seed=7)
+    print()
+    print(result.render())
+    print(f"broken connections: {result.broken}/{result.trials}")
+    # Single-object mode: near-perfect on the HTML and early images.
+    assert result.single_pct("HTML") >= 90.0
+    assert result.single_pct("I1") >= 80.0
+    # Sequence mode: strong early, declining tail (the paper's shape).
+    assert result.sequence_pct("I1") >= 60.0
+    early = sum(result.sequence_pct(f"I{i}") for i in (1, 2, 3, 4)) / 4
+    late = sum(result.sequence_pct(f"I{i}") for i in (5, 6, 7, 8)) / 4
+    assert early >= late

@@ -1,0 +1,24 @@
+"""E9 / §VII — learned attack triggering vs the fixed 6th-GET index.
+
+Against cached-visitor sessions (the HTML slides to an earlier request
+position), the fixed trigger misses; the k-NN trigger trained on the
+adversary's own profiling runs recovers most of the accuracy."""
+
+from conftest import trials
+
+from repro.experiments import trigger_study
+
+
+def test_bench_trigger_study(run_once):
+    result = run_once(
+        trigger_study.run,
+        trials=trials(10),
+        training_trials=max(8, trials(10)),
+        seed=7,
+    )
+    print()
+    print(result.render())
+    rows = {row[0]: row for row in result.rows_data}
+    fixed = float(rows["fixed index (6th GET)"][1].rstrip("%"))
+    learned = float(rows["k-NN classifier"][1].rstrip("%"))
+    assert learned > fixed

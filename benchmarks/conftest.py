@@ -1,0 +1,35 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper table/figure and prints its rows.
+Trial counts default to a quick profile; set ``REPRO_TRIALS`` (e.g. 100,
+the paper's count) for full fidelity.
+"""
+
+import os
+
+import pytest
+
+
+def trials(default: int) -> int:
+    """Trial count from the environment, or the quick default."""
+    value = os.environ.get("REPRO_TRIALS")
+    if value is None:
+        return default
+    return max(1, int(value))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the experiment exactly once under the benchmark timer.
+
+    Experiments are deterministic and heavy; pytest-benchmark's default
+    calibration would re-run them dozens of times for no statistical
+    gain.
+    """
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The paper's §VII defense sketch, evaluated against its own attack.
+
+    "…the client can opt for a different priority/order of object
+    delivery every time, thereby confusing the adversary."
+
+Per page load, the defended client shuffles the order in which it
+requests the 8 emblem images (it knows the display mapping; the network
+does not) and randomizes their RFC 7540 priorities.  The attack still
+serializes transmissions and still identifies *sizes* — but the
+temporal order it recovers is the shuffled wire order, not the user's
+preference order.
+
+Run:
+    python examples/defense_priority_shuffle.py [trials]
+"""
+
+import sys
+
+from repro.experiments import ablations
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+
+    print(f"Running the full attack against vanilla and defended clients "
+          f"({trials} sessions each)…\n")
+    result = ablations.run_defense(trials=trials, seed=7)
+    print(result.render())
+    print("""
+Reading the table:
+
+* 'vs true preference'  — positional accuracy against the secret the
+  adversary wants (the user's ranking).  The defense collapses it to
+  near-chance.
+* 'vs wire order'       — accuracy against the shuffled order actually
+  on the network.  Still high: the attack itself works fine; it just
+  recovers a decorrelated permutation.
+* 'sizes identified'    — the size side-channel survives: the defense
+  hides *order*, not object identity.  A page whose secret is which
+  single object was fetched (rather than an order) is NOT protected.
+""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The §IV study: how each network parameter affects multiplexing.
+
+Walks the four knobs the paper examines — uniform delay (useless),
+jitter (Table I), bandwidth limitation (Figure 5) and targeted drops
+(§IV-D) — printing each experiment's table.
+
+Run:
+    python examples/network_parameter_study.py [trials]
+"""
+
+import sys
+
+from repro.experiments import delay_ablation, fig5, fig6, table1
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+
+    print("=" * 70)
+    print("§IV-A — uniform delay (the negative result)")
+    print("=" * 70)
+    result = delay_ablation.run(trials=trials, seed=7)
+    print(result.render())
+    print("""
+Adding the same delay to every packet shifts all arrivals equally:
+the inter-request gaps the server sees are identical, and so is the
+multiplexing.  The adversary discards this knob.
+""")
+
+    print("=" * 70)
+    print("§IV-B / Table I — jitter")
+    print("=" * 70)
+    result = table1.run(trials=trials, seed=7)
+    print(result.render())
+    print("""
+Spacing the GETs serializes the object of interest more and more — but
+past ~50 ms the long holds trigger TCP retransmissions, the server
+serves duplicate copies of the retransmitted requests, and the extra
+traffic re-intensifies multiplexing: the curve saturates (paper:
+32→46→54→54%).
+""")
+
+    print("=" * 70)
+    print("§IV-C / Figure 5 — bandwidth limitation")
+    print("=" * 70)
+    result = fig5.run(trials=trials, seed=7)
+    print(result.render())
+    print("""
+The paper saw retransmissions fall with bandwidth and success peak at
+800 Mbps (many higher-bandwidth 'successes' being retransmitted copies
+of the object, not the object).  Our clean token-bucket gateway does
+not reproduce those artifacts on this small page — see EXPERIMENTS.md —
+but the duplicate-only column shows the confound the paper dissects.
+""")
+
+    print("=" * 70)
+    print("§IV-D / Figure 6 — targeted packet drops → stream reset")
+    print("=" * 70)
+    result = fig6.run(trials=trials, seed=7)
+    print(result.render())
+    print("""
+Dropping 80% of server→client application packets for 6 seconds makes
+the client reset all streams; the server flushes its queues, the
+client's timeouts back off, and the re-requested object of interest is
+served single-threaded: ≈90% success (the paper's number).
+""")
+
+
+if __name__ == "__main__":
+    main()

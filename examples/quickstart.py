@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's attack on one simulated survey session.
+
+Builds the full testbed — client, compromised gateway, HTTP/2 server
+hosting the isidewith.com replica — runs the four-phase attack of §V,
+and prints what the adversary recovered next to the ground truth.
+
+Run:
+    python examples/quickstart.py [trial]
+"""
+
+import sys
+
+from repro import AdversaryConfig, TrialConfig, VolunteerWorkload, run_trial
+from repro.web.isidewith import HTML_OBJECT_ID
+
+
+def main() -> None:
+    trial = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+
+    workload = VolunteerWorkload(seed=7)
+    print(f"Volunteer #{trial} takes the survey…")
+    print(f"  true preference order: {', '.join(workload.party_order_for(trial))}")
+    print()
+
+    print("Running the attacked page load (jitter → throttle → drops →")
+    print("stream reset → escalated jitter)…")
+    outcome = run_trial(trial, workload, TrialConfig(adversary=AdversaryConfig()))
+    print(f"  page load {'completed' if outcome.completed else 'BROKE'} "
+          f"in {outcome.duration:.1f} simulated seconds")
+    print(f"  attack triggered at the 6th GET "
+          f"(t={outcome.adversary.trigger_time:.2f}s)")
+    print(f"  client sent {outcome.browser.resets_sent} stream reset(s), "
+          f"{outcome.client_retransmissions()} TCP retransmissions")
+    print()
+
+    analysis = outcome.analyze()
+
+    html = analysis.single_object[HTML_OBJECT_ID]
+    print("Object of interest #1 — the result HTML (9500 B):")
+    print(f"  identified from encrypted traffic: {html.identified}")
+    print(f"  served non-multiplexed (degree 0): {html.degree_zero}")
+    print(f"  → attack {'SUCCEEDED' if html.success else 'failed'}")
+    print()
+
+    print("Recovered party order (from encrypted image sizes):")
+    predicted = [p.replace("emblem-", "") for p in analysis.sequence_prediction]
+    truth = [p.replace("emblem-", "") for p in analysis.sequence_truth]
+    width = max(len(p) for p in truth) + 2
+    print(f"  {'position':>8}  {'predicted':<{width}} {'truth':<{width}} ")
+    correct = 0
+    for position in range(len(truth)):
+        guess = predicted[position] if position < len(predicted) else "—"
+        mark = "✓" if guess == truth[position] else "✗"
+        correct += guess == truth[position]
+        print(f"  {position + 1:>8}  {guess:<{width}} {truth[position]:<{width}} {mark}")
+    print(f"\n  {correct}/8 positions correct")
+
+
+if __name__ == "__main__":
+    main()

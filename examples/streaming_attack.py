@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""§VII future work: the serialization attack against video streaming.
+
+A DASH player prefetches several segments at once, so consecutive video
+segments multiplex on the HTTP/2 connection and a passive observer
+cannot read the bitrate ladder.  The same GET-spacing trick that broke
+isidewith.com separates the segments — the per-segment quality sequence
+(what the user watched, when their network degraded) leaks.
+
+Run:
+    python examples/streaming_attack.py [sessions]
+"""
+
+import sys
+
+from repro.experiments import streaming_study
+
+
+def main() -> None:
+    sessions = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+
+    print(f"Streaming {sessions} simulated DASH sessions, passive vs "
+          f"attacked…\n")
+    result = streaming_study.run(trials=sessions, seed=7, segments=12)
+    print(result.render())
+    print("""
+Reading: with the player's 3-deep prefetch pipeline, segments merge
+into multi-hundred-KB blobs that straddle ladder rungs — the passive
+observer recovers almost nothing.  A 0.9 s GET spacing (far below the
+2 s segment cadence, so playback is unharmed) serializes the downloads
+and the quality sequence reads right off the burst sizes.
+""")
+
+    # A one-session close-up.
+    from repro.experiments.streaming_study import _run_session
+    session, correct, finished = _run_session(
+        0, seed=7, attacked=True, segments=10
+    )
+    print("One attacked session, segment by segment:")
+    print(f"  true qualities: {' '.join(session.qualities)}")
+    print(f"  segment bytes : {' '.join(str(s) for s in session.sizes)}")
+    print(f"  recovered {correct}/{session.segment_count} "
+          f"(session finished: {finished})")
+
+
+if __name__ == "__main__":
+    main()

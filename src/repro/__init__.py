@@ -1,0 +1,64 @@
+"""repro — reproduction of "Depending on HTTP/2 for Privacy? Good Luck!"
+(Mitra et al., DSN 2020).
+
+An active traffic-analysis attack on HTTP/2 multiplexing, rebuilt on a
+deterministic discrete-event network testbed:
+
+* :mod:`repro.simkernel` — event-driven simulation kernel,
+* :mod:`repro.netsim` — links, hosts and the programmable middlebox,
+* :mod:`repro.tcp` — TCP (Reno, fast retransmit, RTO backoff),
+* :mod:`repro.tls` — the TLS record layer as a size model,
+* :mod:`repro.hpack` — HPACK header compression sizing,
+* :mod:`repro.h2` — HTTP/2 framing, streams and multiplexing,
+* :mod:`repro.h1` — the sequential HTTP/1.1 baseline,
+* :mod:`repro.web` — the isidewith.com replica and browser model,
+* :mod:`repro.core` — **the paper's contribution**: the adversary,
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quick start::
+
+    from repro import quick_attack
+
+    result = quick_attack(trial=0)
+    print(result.sequence_prediction)   # recovered party order
+    print(result.sequence_truth)        # ground truth
+"""
+
+from repro.core.adversary import Adversary, AdversaryConfig
+from repro.core.sequence import SequenceAttackResult
+from repro.experiments.harness import TrialConfig, TrialResult, run_trial
+from repro.web.workload import VolunteerWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adversary",
+    "AdversaryConfig",
+    "SequenceAttackResult",
+    "TrialConfig",
+    "TrialResult",
+    "VolunteerWorkload",
+    "quick_attack",
+    "run_trial",
+]
+
+
+def quick_attack(
+    trial: int = 0,
+    seed: int = 7,
+    adversary: "AdversaryConfig" = None,
+) -> "SequenceAttackResult":
+    """Run one attacked isidewith session and return the analysis.
+
+    Args:
+        trial: volunteer index (selects the ground-truth party order).
+        seed: workload master seed.
+        adversary: attack parameters; defaults to the paper's §V values.
+
+    Returns:
+        The scored :class:`~repro.core.sequence.SequenceAttackResult`.
+    """
+    workload = VolunteerWorkload(seed=seed)
+    config = TrialConfig(adversary=adversary or AdversaryConfig())
+    outcome = run_trial(trial, workload, config)
+    return outcome.analyze()

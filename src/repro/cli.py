@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Runs any of the paper's experiments and prints its table:
+
+    python -m repro baseline --trials 30
+    python -m repro table1 --trials 100
+    python -m repro table2 --trials 50 --seed 11
+    python -m repro fig1
+    python -m repro fig5
+    python -m repro fig6
+    python -m repro delay
+    python -m repro ablations          # all five E8 studies
+    python -m repro attack --trial 3   # one annotated session
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Depending on HTTP/2 for Privacy? Good Luck!' "
+            "(DSN 2020) — run the paper's experiments."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "baseline", "table1", "table2", "fig1", "fig5", "fig6",
+            "delay", "ablations", "attack", "trigger", "streaming",
+            "partialmux", "generalization", "fingerprint", "scorecard",
+        ],
+        help="which paper experiment to run",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=25,
+        help="page loads per configuration (paper: 100)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload master seed"
+    )
+    parser.add_argument(
+        "--trial", type=int, default=0,
+        help="volunteer index (attack experiment only)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment == "baseline":
+        from repro.experiments import baseline
+        print(baseline.run(trials=args.trials, seed=args.seed).render())
+    elif args.experiment == "table1":
+        from repro.experiments import table1
+        print(table1.run(trials=args.trials, seed=args.seed).render())
+    elif args.experiment == "table2":
+        from repro.experiments import table2
+        print(table2.run(trials=args.trials, seed=args.seed).render())
+    elif args.experiment == "fig1":
+        from repro.experiments import fig1
+        print(fig1.run(seed=args.seed).render())
+    elif args.experiment == "fig5":
+        from repro.experiments import fig5
+        print(fig5.run(trials=args.trials, seed=args.seed).render())
+    elif args.experiment == "fig6":
+        from repro.experiments import fig6
+        print(fig6.run(trials=args.trials, seed=args.seed).render())
+    elif args.experiment == "delay":
+        from repro.experiments import delay_ablation
+        print(delay_ablation.run(trials=args.trials, seed=args.seed).render())
+    elif args.experiment == "ablations":
+        from repro.experiments import ablations
+        small = max(4, args.trials // 3)
+        studies = [
+            ablations.run_quirk,
+            ablations.run_actuator,
+            ablations.run_scheduler,
+            ablations.run_defense,
+            ablations.run_h1_baseline,
+            ablations.run_push_defense,
+            ablations.run_success_accounting,
+            ablations.run_tcp_variants,
+        ]
+        for index, study in enumerate(studies):
+            if index:
+                print()
+            print(study(trials=small, seed=args.seed).render())
+    elif args.experiment == "trigger":
+        from repro.experiments import trigger_study
+        print(trigger_study.run(
+            trials=args.trials, training_trials=max(8, args.trials),
+            seed=args.seed,
+        ).render())
+    elif args.experiment == "streaming":
+        from repro.experiments import streaming_study
+        print(streaming_study.run(
+            trials=max(3, args.trials // 3), seed=args.seed
+        ).render())
+    elif args.experiment == "partialmux":
+        from repro.experiments import partial_mux
+        print(partial_mux.run(trials=args.trials, seed=args.seed).render())
+    elif args.experiment == "generalization":
+        from repro.experiments import generalization
+        print(generalization.run(
+            trials=max(3, args.trials // 4), seed=args.seed
+        ).render())
+    elif args.experiment == "fingerprint":
+        from repro.experiments import fingerprint_study
+        print(fingerprint_study.run(seed=args.seed).render())
+    elif args.experiment == "scorecard":
+        from repro.experiments import scorecard
+        card = scorecard.run(trials=args.trials, seed=args.seed)
+        print(card.render())
+        return 0 if card.all_shapes_hold else 1
+    elif args.experiment == "attack":
+        _run_attack(args.trial, args.seed)
+    return 0
+
+
+def _run_attack(trial: int, seed: int) -> None:
+    """One annotated attacked session (the quickstart, inline)."""
+    from repro import AdversaryConfig, TrialConfig, VolunteerWorkload, run_trial
+    from repro.web.isidewith import HTML_OBJECT_ID
+
+    workload = VolunteerWorkload(seed=seed)
+    outcome = run_trial(trial, workload, TrialConfig(adversary=AdversaryConfig()))
+    analysis = outcome.analyze()
+    print(f"session #{trial}: completed={outcome.completed} "
+          f"duration={outcome.duration:.1f}s "
+          f"resets={outcome.browser.resets_sent}")
+    html = analysis.single_object[HTML_OBJECT_ID]
+    print(f"HTML: identified={html.identified} degree0={html.degree_zero} "
+          f"success={html.success}")
+    predicted = [p.replace('emblem-', '') for p in analysis.sequence_prediction]
+    truth = [p.replace('emblem-', '') for p in analysis.sequence_truth]
+    print(f"predicted order: {predicted}")
+    print(f"true order     : {truth}")
+    correct = sum(1 for a, b in zip(predicted, truth) if a == b)
+    print(f"{correct}/8 positions correct")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

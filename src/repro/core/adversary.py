@@ -1,0 +1,172 @@
+"""The attack state machine (paper §V).
+
+Phases, exactly as the paper runs them against isidewith.com:
+
+1. **Arm** — on connection detection, install the GET-spacing filter
+   (50 ms) and start counting GET requests on the client→server path.
+2. **Trigger** — when the N-th GET passes (N=6, the result HTML),
+   throttle the bandwidth to 800 Mbps and start dropping 80 % of
+   server→client application packets.
+3. **Reset window** — keep dropping for 6 seconds, forcing the client
+   to RST_STREAM everything and re-request with a backed-off TCP.
+4. **Escalate** — once the drops stop, raise the GET spacing to 80 ms
+   so the 8 re-requested emblem images are served one at a time.
+
+The phases and parameters are configurable so the single-parameter
+experiments of §IV (Table I, Figure 5, the §IV-D drop study) can run
+individual pieces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.controller import NetworkController
+from repro.simkernel.trace import TraceLog
+from repro.simkernel.units import MBPS
+
+
+class AttackPhase(enum.Enum):
+    IDLE = "idle"
+    SPACING = "spacing"
+    DROPPING = "dropping"
+    ESCALATED = "escalated"
+
+
+@dataclass
+class AdversaryConfig:
+    """Attack parameters (defaults are the paper's §V values).
+
+    ``initial_jitter`` / ``escalated_jitter`` are *mean* added delays
+    (netem semantics — see
+    :class:`~repro.core.controller.RandomJitterFilter`).  Setting
+    ``ideal_spacing`` True swaps in the idealized no-reordering spacing
+    filter instead, for the ablation study.
+    """
+
+    initial_jitter: float = 0.050
+    escalated_jitter: float = 0.080
+    bandwidth_limit: Optional[float] = 800 * MBPS
+    drop_rate: float = 0.80
+    drop_duration: float = 6.0
+    trigger_get_index: int = 6
+    enable_drops: bool = True
+    enable_bandwidth_limit: bool = True
+    enable_escalation: bool = True
+    #: "spacing" = the calculated per-request holds of §IV-B with the
+    #: actuator noise of a real tc/netem gateway; "ideal" = the same
+    #: with a perfect actuator (ablation); "random" = plain netem
+    #: random jitter (ablation — it clumps instead of spacing).
+    jitter_mode: str = "spacing"
+    #: Actuator imprecision of the attack's holds (fraction of each
+    #: hold).  Calibrated so the sequence-mode accuracy reproduces
+    #: Table II's declining tail (I5..I8 ≈ 60-80 %).
+    spacing_noise: float = 0.4
+    #: When set, the drop phase triggers on this classifier's live
+    #: verdict (the §VII "ML triggering" extension) instead of the
+    #: fixed ``trigger_get_index``.
+    trigger_classifier: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.initial_jitter < 0 or self.escalated_jitter < 0:
+            raise ValueError("jitter values must be non-negative")
+        if not (0.0 <= self.drop_rate <= 1.0):
+            raise ValueError("drop rate must be in [0, 1]")
+        if self.trigger_get_index < 1:
+            raise ValueError("trigger GET index is 1-based")
+        if self.jitter_mode not in ("spacing", "ideal", "random"):
+            raise ValueError(f"unknown jitter mode {self.jitter_mode!r}")
+
+
+class Adversary:
+    """Drives the controller through the attack phases."""
+
+    def __init__(
+        self,
+        controller: NetworkController,
+        config: Optional[AdversaryConfig] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.controller = controller
+        self.config = config or AdversaryConfig()
+        self._trace = trace
+        self.phase = AttackPhase.IDLE
+        self.trigger_time: Optional[float] = None
+        self.escalation_time: Optional[float] = None
+
+    @property
+    def sim(self):
+        return self.controller.sim
+
+    def arm(self) -> None:
+        """Phase 1: jitter + GET counting; register the trigger."""
+        if self.phase is not AttackPhase.IDLE:
+            raise RuntimeError(f"arm() in phase {self.phase}")
+        self._apply_jitter(self.config.initial_jitter)
+        if self.config.trigger_classifier is not None:
+            from repro.core.trigger import ClassifierTrigger
+
+            self.classifier_trigger = ClassifierTrigger(
+                self.config.trigger_classifier, self._on_trigger
+            )
+            self.controller.get_counter.on_get = self.classifier_trigger.observe
+        else:
+            self.classifier_trigger = None
+            self.controller.on_nth_get(
+                self.config.trigger_get_index, self._on_trigger
+            )
+        self.phase = AttackPhase.SPACING
+        self._record("attack.armed", jitter=self.config.initial_jitter)
+
+    def _on_trigger(self, now: float) -> None:
+        """Phase 2: the N-th GET just passed — throttle and drop."""
+        if self.phase is not AttackPhase.SPACING:
+            return
+        self.trigger_time = now
+        if self.config.enable_bandwidth_limit:
+            self.controller.limit_bandwidth(self.config.bandwidth_limit)
+        if self.config.enable_drops:
+            self.controller.install_drops(self.config.drop_rate)
+            self.controller.start_drops(self.config.drop_duration)
+            self.phase = AttackPhase.DROPPING
+            self.sim.schedule(self.config.drop_duration, self._on_drops_done)
+        else:
+            self._escalate()
+        self._record(
+            "attack.triggered",
+            get_index=self.config.trigger_get_index,
+        )
+
+    def _on_drops_done(self) -> None:
+        """Phase 3 → 4: drop window over; escalate the spacing."""
+        if self.phase is not AttackPhase.DROPPING:
+            return
+        self._escalate()
+
+    def _escalate(self) -> None:
+        if self.config.enable_escalation:
+            self._apply_jitter(self.config.escalated_jitter)
+            self.escalation_time = self.sim.now
+            self._record(
+                "attack.escalated", jitter=self.config.escalated_jitter
+            )
+        self.phase = AttackPhase.ESCALATED
+
+    def _apply_jitter(self, amount: float) -> None:
+        if self.config.jitter_mode == "random":
+            self.controller.install_jitter(amount)
+        elif self.config.jitter_mode == "ideal":
+            self.controller.install_spacing(amount, noise_fraction=0.0)
+        else:
+            self.controller.install_spacing(
+                amount, noise_fraction=self.config.spacing_noise
+            )
+
+    def _record(self, category: str, **fields) -> None:
+        if self._trace is not None:
+            self._trace.record(self.sim.now, category, phase=self.phase.value, **fields)
+
+    def __repr__(self) -> str:
+        return f"Adversary({self.phase.value})"

@@ -1,0 +1,115 @@
+"""Partial-multiplexing inference (paper §VII, future work).
+
+    "Another possible extension would be to infer the object identity
+    even when the object is partly multiplexed.  Our preliminary
+    experiments suggest that this is indeed possible, however, at the
+    cost of employing complex analysis techniques."
+
+When two or more objects interleave, the delimiter heuristic produces a
+single merged burst.  This module implements the natural first attack
+on that blob: treat its size as a subset-sum over the known object
+inventory and enumerate small subsets whose combined expected wire size
+falls within tolerance.  A unique explanation identifies the objects in
+the blob (though not their byte order).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import ObjectEstimate
+from repro.core.predictor import SizePredictor
+
+
+@dataclass(frozen=True)
+class BlobExplanation:
+    """One candidate composition of a merged (multiplexed) burst."""
+
+    object_ids: Tuple[str, ...]
+    expected_payload: int
+    observed_payload: int
+
+    @property
+    def error(self) -> int:
+        return abs(self.observed_payload - self.expected_payload)
+
+
+class PartialMultiplexingAnalyzer:
+    """Explains multiplexed bursts as combinations of known objects."""
+
+    def __init__(
+        self,
+        predictor: SizePredictor,
+        max_objects_per_blob: int = 3,
+        tolerance_abs: int = 700,
+        tolerance_rel: float = 0.04,
+    ) -> None:
+        """
+        Args:
+            predictor: supplies per-object expected wire sizes.
+            max_objects_per_blob: largest subset size enumerated; the
+                combinatorics grow fast, and the paper notes the
+                "innumerable ways in which objects can be multiplexed".
+        """
+        if max_objects_per_blob < 1:
+            raise ValueError("must allow at least one object per blob")
+        self.predictor = predictor
+        self.max_objects = max_objects_per_blob
+        self.tolerance_abs = tolerance_abs
+        self.tolerance_rel = tolerance_rel
+
+    def _within(self, observed: int, expected: int) -> bool:
+        budget = max(self.tolerance_abs, self.tolerance_rel * expected)
+        return abs(observed - expected) <= budget
+
+    def explain(
+        self,
+        estimate: ObjectEstimate,
+        candidates: Optional[Sequence[str]] = None,
+    ) -> List[BlobExplanation]:
+        """All subset explanations of one burst, best-first."""
+        pool = list(candidates) if candidates is not None else list(
+            self.predictor.size_map
+        )
+        explanations: List[BlobExplanation] = []
+        for subset_size in range(1, self.max_objects + 1):
+            for subset in itertools.combinations(pool, subset_size):
+                expected = sum(
+                    self.predictor.expected_for(object_id) for object_id in subset
+                )
+                if self._within(estimate.payload_bytes, expected):
+                    explanations.append(
+                        BlobExplanation(
+                            object_ids=tuple(sorted(subset)),
+                            expected_payload=expected,
+                            observed_payload=estimate.payload_bytes,
+                        )
+                    )
+        explanations.sort(key=lambda explanation: explanation.error)
+        return explanations
+
+    def identify_members(
+        self,
+        estimate: ObjectEstimate,
+        candidates: Optional[Sequence[str]] = None,
+    ) -> Optional[Tuple[str, ...]]:
+        """The blob's membership, when the explanation is unambiguous.
+
+        Returns the object ids only if every near-optimal explanation
+        (within one tolerance budget of the best) agrees on membership.
+        """
+        explanations = self.explain(estimate, candidates)
+        if not explanations:
+            return None
+        best = explanations[0]
+        agreeing = [
+            explanation
+            for explanation in explanations
+            if explanation.error <= best.error + self.tolerance_abs
+        ]
+        memberships = {explanation.object_ids for explanation in agreeing}
+        if len(memberships) == 1:
+            return best.object_ids
+        return None

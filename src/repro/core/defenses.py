@@ -1,0 +1,136 @@
+"""Defenses sketched by the paper (§VII).
+
+    "Several HTTP/2 features such as server push and prioritization
+    that are not a function of the underlying network can be leveraged
+    for privacy.  For instance, the client can opt for a different
+    priority/order of object delivery every time, thereby confusing the
+    adversary."
+
+:class:`PriorityShuffleDefense` implements exactly that: per page load
+it (a) randomizes the order in which equivalent objects are requested
+(the 8 emblem images — the browser knows the display mapping, the
+network does not), and (b) assigns random RFC 7540 priority weights so
+a priority-honouring server also varies delivery order.  The ablation
+benchmark shows the sequence attack's positional accuracy collapsing to
+chance while single-object size identification survives — the defense
+hides *order*, not *size*.
+
+:class:`ServerPushDefense` implements the other §VII lever: the server
+**pushes** the order-revealing objects in a fixed canonical order
+attached to the page request, so the client never requests them and the
+network order carries no information about the user's ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.simkernel.randomstream import RandomStreams
+from repro.web.isidewith import IsideWithSite
+from repro.web.site import LoadSchedule, ScheduledRequest
+
+
+@dataclass
+class PriorityShuffleDefense:
+    """Randomize request order and priorities of fungible object groups.
+
+    Attributes:
+        shuffle_order: permute the image-burst request order.
+        randomize_weights: attach random priority weights (1..256) to
+            every request in the group.
+    """
+
+    shuffle_order: bool = True
+    randomize_weights: bool = True
+
+    def apply(
+        self,
+        site: IsideWithSite,
+        rng: RandomStreams,
+    ) -> Tuple[LoadSchedule, Tuple[str, ...]]:
+        """Build a defended schedule for one page load.
+
+        Returns:
+            ``(schedule, wire_order)`` where ``wire_order`` is the party
+            order actually requested on the network (the browser still
+            *displays* the true ``site.party_order``; only the network
+            ordering is shuffled).
+        """
+        requests: List[ScheduledRequest] = list(site.schedule)
+        image_positions = list(site.image_indices)
+        image_requests = [requests[index] for index in image_positions]
+
+        if self.shuffle_order:
+            shuffled = rng.shuffled("defense.image-order", image_requests)
+        else:
+            shuffled = list(image_requests)
+
+        defended: List[ScheduledRequest] = []
+        image_cursor = 0
+        for index, request in enumerate(requests):
+            if index in site.image_indices:
+                source = shuffled[image_cursor]
+                image_cursor += 1
+                weight = (
+                    rng.stream("defense.weights").randint(1, 256)
+                    if self.randomize_weights
+                    else source.priority_weight
+                )
+                # Keep the original slot's gap (and script-triggered
+                # nature) so the timing signature of the burst is
+                # unchanged; only identity moves.
+                defended.append(
+                    ScheduledRequest(
+                        request.gap,
+                        source.obj,
+                        weight,
+                        script_triggered=request.script_triggered,
+                    )
+                )
+            else:
+                defended.append(request)
+
+        wire_order = tuple(
+            request.obj.object_id.replace("emblem-", "")
+            for request in defended
+            if request.obj.object_id.startswith("emblem-")
+        )
+        return LoadSchedule(defended), wire_order
+
+
+@dataclass
+class ServerPushDefense:
+    """Push the order-revealing objects in a canonical order (§VII).
+
+    The server attaches PUSH_PROMISEs for all 8 emblem images — in a
+    *fixed, user-independent* order — to the result-HTML response.  The
+    client never requests them, so neither the request sequence nor the
+    delivery sequence on the wire correlates with the user's ranking.
+    Sizes remain visible (an adversary can tell *which* emblems the page
+    shows — identical for every user of this survey), but the secret —
+    the order — is gone.
+    """
+
+    #: Push the emblems sorted by path (alphabetical party order).
+    canonical_by_path: bool = True
+
+    def push_map(self, site: IsideWithSite) -> Dict[str, Tuple[str, ...]]:
+        """The ServerConfig.push_map for a defended deployment."""
+        html_path = site.schedule[site.html_index].obj.path
+        emblem_paths = [
+            site.schedule[index].obj.path for index in site.image_indices
+        ]
+        if self.canonical_by_path:
+            emblem_paths = sorted(emblem_paths)
+        return {html_path: tuple(emblem_paths)}
+
+    def canonical_order(self, site: IsideWithSite) -> Tuple[str, ...]:
+        """The party order the wire reveals under this defense."""
+        emblem_paths = self.push_map(site)[
+            site.schedule[site.html_index].obj.path
+        ]
+        return tuple(
+            path.rsplit("/", 1)[-1].replace(".png", "")
+            for path in emblem_paths
+        )

@@ -1,0 +1,157 @@
+"""Passive object-size estimation from encrypted traffic (Figure 1).
+
+The classic HTTP/1.x side-channel the paper resurrects: walk the
+server→client application-data packets and split them into objects at
+*delimiters* — packets smaller than the MTU ("the last packet with size
+that is less than (rarely equal to) the MTU") — and at idle gaps.  Sum
+the payload bytes between delimiters to estimate each object's size.
+
+Against multiplexed traffic these estimates are garbage (interleaved
+objects merge); once the adversary serializes transmission they are
+accurate — that asymmetry is the whole paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.netsim.capture import PacketRecord
+
+
+@dataclass(frozen=True)
+class ObjectEstimate:
+    """One inferred object transmission.
+
+    Attributes:
+        start_time / end_time: first and last packet timestamps.
+        payload_bytes: summed TCP payload (TLS records, encrypted).
+        packets: packets attributed to the object.
+        record_starts: TLS records beginning inside the burst (visible
+            from cleartext record headers) — used to back out framing
+            overhead when converting to an application-size estimate.
+    """
+
+    start_time: float
+    end_time: float
+    payload_bytes: int
+    packets: int
+    record_starts: int
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+class SizeEstimator:
+    """Segments a response packet stream into object-size estimates.
+
+    An object boundary is declared when
+
+    * a sub-MTU packet (the classic delimiter) is followed by at least
+      ``delimiter_gap`` of silence — a bare sub-MTU packet is not
+      enough, because a sender whose application trickles data emits
+      sub-MTU packets mid-object; or
+    * the silence exceeds ``idle_gap`` regardless of the last packet's
+      size — catching objects that happen to end on an MTU boundary
+      and transfers cut off by loss.
+
+    Congestion-window stalls inside a transfer (≈ one RTT of silence
+    after a *full*-MTU packet) split neither way, so multi-round-trip
+    transfers stay whole.
+    """
+
+    def __init__(
+        self,
+        mtu: int = 1500,
+        delimiter_gap: float = 0.005,
+        idle_gap: float = 0.060,
+        min_object_bytes: int = 400,
+    ) -> None:
+        """
+        Args:
+            mtu: link MTU; packets below it are candidate delimiters.
+            delimiter_gap: silence required after a sub-MTU packet to
+                call it an object end.
+            idle_gap: silence that closes an object unconditionally.
+            min_object_bytes: bursts smaller than this are discarded as
+                control chatter (SETTINGS, WINDOW_UPDATE, PING traffic).
+        """
+        if delimiter_gap > idle_gap:
+            raise ValueError("delimiter gap must not exceed idle gap")
+        self.mtu = mtu
+        self.delimiter_gap = delimiter_gap
+        self.idle_gap = idle_gap
+        self.min_object_bytes = min_object_bytes
+
+    def estimate(
+        self,
+        packets: Sequence[PacketRecord],
+        request_times: Optional[Sequence[float]] = None,
+    ) -> List[ObjectEstimate]:
+        """Split ``packets`` (time-ordered s→c application data) into
+        object estimates.
+
+        Args:
+            packets: the response-direction application packets.
+            request_times: optional client→server request timestamps;
+                a sub-MTU packet followed by a request before the next
+                response packet also closes an object.  This is the
+                classic HTTP/1.x trick — the next GET delimits the
+                previous response — and is what lets the estimator
+                separate back-to-back keep-alive responses whose gap is
+                only one RTT.
+        """
+        request_times = sorted(request_times or ())
+        estimates: List[ObjectEstimate] = []
+        current: List[PacketRecord] = []
+
+        def request_between(start: float, end: float) -> bool:
+            import bisect
+            index = bisect.bisect_right(request_times, start)
+            return index < len(request_times) and request_times[index] < end
+
+        def close() -> None:
+            if not current:
+                return
+            payload = sum(record.payload_bytes for record in current)
+            if payload >= self.min_object_bytes:
+                estimates.append(
+                    ObjectEstimate(
+                        start_time=current[0].time,
+                        end_time=current[-1].time,
+                        payload_bytes=payload,
+                        packets=len(current),
+                        record_starts=sum(
+                            len(record.tls_content_types) for record in current
+                        ),
+                    )
+                )
+            current.clear()
+
+        for index, record in enumerate(packets):
+            current.append(record)
+            next_time = (
+                packets[index + 1].time if index + 1 < len(packets) else None
+            )
+            silence = (
+                float("inf") if next_time is None else next_time - record.time
+            )
+            is_delimiter = record.wire_size < self.mtu
+            request_cut = (
+                is_delimiter
+                and next_time is not None
+                and request_between(record.time, next_time)
+            )
+            if silence > self.idle_gap or (
+                is_delimiter and silence > self.delimiter_gap
+            ) or request_cut:
+                close()
+        close()
+        return estimates
+
+    def __repr__(self) -> str:
+        return (
+            f"SizeEstimator(mtu={self.mtu}, idle_gap={self.idle_gap}, "
+            f"min={self.min_object_bytes})"
+        )

@@ -1,0 +1,143 @@
+"""Learning-based attack triggering (paper §VII, future work).
+
+    "We believe that triggering the packet drops and jitter accurately
+    will alleviate this problem, possibly using machine learning."
+
+The §V attack fires its drop phase at the *6th* GET — the result HTML's
+fixed position in the request sequence.  That breaks the moment the
+sequence shifts: a returning visitor's browser serves some early
+objects from cache and the HTML arrives as the 4th or 5th request.
+
+:class:`HtmlGetClassifier` replaces the fixed index with a k-NN
+classifier over features any on-path observer has for each GET:
+
+* the gap since the previous GET (the HTML follows the survey
+  submission after a long user-side pause — Table II's 500 ms), and
+* the GET record's size (path length and HPACK state make request
+  records differ by tens of bytes).
+
+The adversary trains it on its own profiling runs against the site
+(assumption 4: "the adversary has sufficient time to access the website
+… before launching the attack").  :class:`ClassifierTrigger` wires the
+classifier into the live GET stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.monitor import GetRequestObservation
+from repro.core.predictor import NearestNeighborClassifier
+
+#: Class labels.
+HTML_LABEL = "html"
+OTHER_LABEL = "other"
+
+
+def get_features(
+    observations: Sequence[GetRequestObservation],
+) -> List[List[float]]:
+    """Per-GET feature vectors: [gap-from-previous (s), payload bytes].
+
+    The first GET's gap is measured from time zero of the first
+    observation (i.e. 0), which suffices since the HTML is never the
+    first request of a session.
+    """
+    features: List[List[float]] = []
+    previous_time: Optional[float] = None
+    for observation in observations:
+        gap = 0.0 if previous_time is None else observation.time - previous_time
+        features.append([gap, float(observation.payload_bytes)])
+        previous_time = observation.time
+    return features
+
+
+class HtmlGetClassifier:
+    """k-NN over GET features: is this the result-HTML request?"""
+
+    def __init__(self, k: int = 3) -> None:
+        self._knn = NearestNeighborClassifier(k=k)
+        self.trained = False
+
+    def fit(
+        self,
+        sessions: Sequence[Sequence[GetRequestObservation]],
+        html_indices: Sequence[int],
+    ) -> "HtmlGetClassifier":
+        """Train from profiling sessions.
+
+        Args:
+            sessions: each session's observed GET sequence.
+            html_indices: 0-based position of the HTML's GET per session.
+        """
+        if len(sessions) != len(html_indices):
+            raise ValueError("one html index per session required")
+        features: List[List[float]] = []
+        labels: List[str] = []
+        for observations, html_index in zip(sessions, html_indices):
+            session_features = get_features(observations)
+            for position, vector in enumerate(session_features):
+                features.append(vector)
+                labels.append(
+                    HTML_LABEL if position == html_index else OTHER_LABEL
+                )
+        self._knn.fit(features, labels)
+        self.trained = True
+        return self
+
+    def is_html(self, gap: float, payload_bytes: int) -> bool:
+        """Classify one live GET."""
+        if not self.trained:
+            raise RuntimeError("classifier not trained")
+        return self._knn.predict([[gap, float(payload_bytes)]])[0] == HTML_LABEL
+
+    def predict_index(
+        self,
+        observations: Sequence[GetRequestObservation],
+        prefix: int = 10,
+    ) -> Optional[int]:
+        """Offline: the position of the HTML's GET in a session, or None.
+
+        Scores each of the first ``prefix`` GETs by its k-NN decision
+        margin toward the HTML class and returns the most HTML-like one
+        (None when no GET scores positive).
+        """
+        features = get_features(observations)[:prefix]
+        if not features:
+            return None
+        margins = self._knn.margin(features, HTML_LABEL)
+        best = max(range(len(margins)), key=lambda index: margins[index])
+        if margins[best] <= 0:
+            return None
+        return best
+
+
+class ClassifierTrigger:
+    """Live trigger: fires the attack when a GET classifies as the HTML.
+
+    Install by assigning :attr:`on_get` of a
+    :class:`~repro.core.controller.GetCounter` to :meth:`observe`.
+    """
+
+    def __init__(
+        self,
+        classifier: HtmlGetClassifier,
+        callback: Callable[[float], None],
+    ) -> None:
+        self.classifier = classifier
+        self._callback = callback
+        self._previous_time: Optional[float] = None
+        self.fired_at: Optional[float] = None
+        self.fired_index: Optional[int] = None
+
+    def observe(self, count: int, now: float, payload_bytes: int) -> None:
+        """GetCounter hook: one new GET passed the gateway."""
+        gap = 0.0 if self._previous_time is None else now - self._previous_time
+        self._previous_time = now
+        if self.fired_at is not None:
+            return
+        if self.classifier.is_html(gap, payload_bytes):
+            self.fired_at = now
+            self.fired_index = count
+            self._callback(now)

@@ -1,0 +1,581 @@
+"""E8 — ablations of the modelling and design choices (DESIGN.md §5).
+
+Five studies:
+
+* ``run_quirk``      — duplicate-request serving on vs off (the §IV-B
+                       server behaviour): without it, jitter costs the
+                       adversary nothing and serialization is easier.
+* ``run_actuator``   — ideal (noise-free) vs realistic spacing filter:
+                       a perfect actuator pushes Table II's sequence
+                       accuracy to ~100 %, locating the paper's losses
+                       in jitter imprecision.
+* ``run_scheduler``  — FIFO vs round-robin multiplexing scheduler: a
+                       FIFO server never multiplexes, so the *passive*
+                       estimator already works (HTTP/2 without
+                       multiplexing provides no privacy).
+* ``run_defense``    — the §VII priority-shuffle defense: randomizing
+                       the image request order per load collapses the
+                       sequence attack's positional accuracy to chance
+                       while single-object identification survives.
+* ``run_h1_baseline``— HTTP/1.1 vs HTTP/2: the passive size
+                       side-channel against the sequential protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.adversary import AdversaryConfig
+from repro.core.defenses import PriorityShuffleDefense
+from repro.core.estimator import SizeEstimator
+from repro.core.monitor import TrafficMonitor
+from repro.core.predictor import SizePredictor
+from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.report import format_table, percentage
+from repro.h1.client import H1Client
+from repro.h1.server import H1Server
+from repro.h2.mux import FifoScheduler
+from repro.h2.server import ServerConfig
+from repro.netsim.topology import build_adversary_path
+from repro.web.isidewith import HTML_OBJECT_ID
+from repro.web.workload import VolunteerWorkload
+
+
+# ---------------------------------------------------------------------------
+# (a) duplicate-serving quirk
+# ---------------------------------------------------------------------------
+
+@dataclass
+class QuirkResult:
+    rows_data: List[List[str]] = field(default_factory=list)
+
+    def rows(self) -> List[List[str]]:
+        return self.rows_data
+
+    def render(self) -> str:
+        return format_table(
+            ["duplicate serving", "HTML not multiplexed", "duplicate servings"],
+            self.rows(),
+            title="E8a — the §IV-B duplicate-serving quirk",
+        )
+
+
+def run_quirk(trials: int = 20, seed: int = 7,
+              spacing: float = 0.050) -> QuirkResult:
+    """Jitter sweep point at 50 ms with the quirk on vs off."""
+    workload = VolunteerWorkload(seed=seed)
+    result = QuirkResult()
+    for quirk in (True, False):
+        not_multiplexed = 0
+        duplicates = 0
+        for trial in range(trials):
+            config = TrialConfig(
+                server=ServerConfig(serve_duplicate_requests=quirk),
+                controller_setup=(
+                    lambda controller: controller.install_spacing(spacing)
+                ),
+            )
+            outcome = run_trial(trial, workload, config)
+            if outcome.report.min_degree(HTML_OBJECT_ID) == 0.0:
+                not_multiplexed += 1
+            duplicates += outcome.duplicate_servings()
+        result.rows_data.append([
+            "on (paper)" if quirk else "off (textbook TCP)",
+            f"{percentage(not_multiplexed, trials):.0f}%",
+            str(duplicates),
+        ])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# (b) actuator precision
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ActuatorResult:
+    rows_data: List[List[str]] = field(default_factory=list)
+
+    def rows(self) -> List[List[str]]:
+        return self.rows_data
+
+    def render(self) -> str:
+        return format_table(
+            ["actuator", "sequence fully correct", "mean positions correct"],
+            self.rows(),
+            title="E8b — ideal vs realistic jitter actuator",
+        )
+
+
+def run_actuator(trials: int = 15, seed: int = 7) -> ActuatorResult:
+    """Full attack with a perfect vs noisy spacing actuator."""
+    workload = VolunteerWorkload(seed=seed)
+    result = ActuatorResult()
+    for mode, label in (("ideal", "ideal (no noise)"),
+                        ("spacing", "realistic (tc/netem)")):
+        fully_correct = 0
+        positions_total = 0
+        for trial in range(trials):
+            adversary = AdversaryConfig(jitter_mode=mode)
+            outcome = run_trial(trial, workload, TrialConfig(adversary=adversary))
+            analysis = outcome.analyze()
+            correct = sum(
+                1 for object_id in analysis.sequence_truth
+                if analysis.sequence_correct.get(object_id)
+            )
+            positions_total += correct
+            if correct == len(analysis.sequence_truth):
+                fully_correct += 1
+        result.rows_data.append([
+            label,
+            f"{percentage(fully_correct, trials):.0f}%",
+            f"{positions_total / trials:.1f}/8",
+        ])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# (c) multiplexing scheduler
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SchedulerResult:
+    rows_data: List[List[str]] = field(default_factory=list)
+
+    def rows(self) -> List[List[str]]:
+        return self.rows_data
+
+    def render(self) -> str:
+        return format_table(
+            ["scheduler", "HTML not multiplexed (no adversary)",
+             "HTML passively identified"],
+            self.rows(),
+            title="E8c — multiplexing scheduler (privacy source)",
+        )
+
+
+def run_scheduler(trials: int = 15, seed: int = 7) -> SchedulerResult:
+    """Baseline loads under round-robin vs FIFO response scheduling."""
+    workload = VolunteerWorkload(seed=seed)
+    result = SchedulerResult()
+    for fifo in (False, True):
+        not_multiplexed = 0
+        identified = 0
+        for trial in range(trials):
+            if fifo:
+                outcome = _run_fifo_trial(trial, workload)
+            else:
+                outcome = run_trial(trial, workload, TrialConfig())
+            if outcome.report.min_degree(HTML_OBJECT_ID) == 0.0:
+                not_multiplexed += 1
+            analysis = outcome.analyze()
+            if analysis.single_object[HTML_OBJECT_ID].identified and \
+                    analysis.single_object[HTML_OBJECT_ID].degree_zero:
+                identified += 1
+        result.rows_data.append([
+            "FIFO (sequential)" if fifo else "round-robin (multi-threaded)",
+            f"{percentage(not_multiplexed, trials):.0f}%",
+            f"{percentage(identified, trials):.0f}%",
+        ])
+    return result
+
+
+def _run_fifo_trial(trial: int, workload: VolunteerWorkload):
+    """A baseline trial with a FIFO-scheduled server."""
+    return _run_trial_with_scheduler(
+        trial, workload, TrialConfig(), FifoScheduler
+    )
+
+
+def _run_trial_with_scheduler(trial, workload, config, scheduler_factory):
+    """run_trial variant with a custom server scheduler factory."""
+    from repro.core.controller import NetworkController
+    from repro.core.metrics import MultiplexingReport
+    from repro.core.monitor import TrafficMonitor as _Monitor
+    from repro.experiments.harness import TrialResult
+    from repro.h2.client import H2Client
+    from repro.h2.server import H2Server
+    from repro.web.browser import Browser
+
+    site = workload.session(trial)
+    rng = workload.trial_rng(trial)
+    topology = build_adversary_path(seed=rng.master_seed)
+    sim = topology.sim
+    server = H2Server(
+        sim, topology.server, 443, site.website.router,
+        config=config.server, trace=topology.trace, rng=rng,
+        scheduler_factory=scheduler_factory,
+    )
+    client = H2Client(
+        sim, topology.client, topology.server.endpoint(443),
+        trace=topology.trace, authority="www.isidewith.com",
+    )
+    browser = Browser(sim, client, site.schedule, config=config.browser,
+                      trace=topology.trace)
+    controller = NetworkController(sim, topology.middlebox, rng,
+                                   trace=topology.trace)
+    browser.start()
+    while sim.now < config.horizon:
+        sim.run_until(min(sim.now + 0.5, config.horizon))
+        if browser.broken:
+            break
+        if browser.page_complete:
+            sim.run_until(min(sim.now + config.settle_time, config.horizon))
+            break
+    report = (
+        MultiplexingReport.from_layout(server.connections[0].tcp.layout)
+        if server.connections else MultiplexingReport()
+    )
+    return TrialResult(
+        trial=trial, site=site, topology=topology, server=server,
+        client=client, browser=browser, controller=controller,
+        adversary=None, monitor=_Monitor(topology.middlebox.capture),
+        report=report, trace=topology.trace,
+        completed=browser.page_complete and not browser.broken,
+        duration=sim.now,
+    )
+
+
+# ---------------------------------------------------------------------------
+# (d) priority-shuffle defense (§VII)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DefenseResult:
+    rows_data: List[List[str]] = field(default_factory=list)
+
+    def rows(self) -> List[List[str]]:
+        return self.rows_data
+
+    def render(self) -> str:
+        return format_table(
+            ["client", "order recovered (vs true preference)",
+             "order recovered (vs wire order)", "sizes identified"],
+            self.rows(),
+            title="E8d — §VII priority-shuffle defense vs the attack",
+        )
+
+
+def run_defense(trials: int = 15, seed: int = 7) -> DefenseResult:
+    """Full attack against a vanilla vs a shuffle-defended client."""
+    workload = VolunteerWorkload(seed=seed)
+    defense = PriorityShuffleDefense()
+    result = DefenseResult()
+    for defended in (False, True):
+        truth_positions = 0
+        wire_positions = 0
+        sizes_found = 0
+        size_total = 0
+        for trial in range(trials):
+            site = workload.session(trial)
+            rng = workload.trial_rng(trial)
+            config = TrialConfig(adversary=AdversaryConfig())
+            wire_order = site.party_order
+            if defended:
+                schedule, wire_order = defense.apply(site, rng)
+                config.schedule_override = schedule
+            outcome = run_trial(trial, workload, config)
+            analysis = outcome.analyze()
+            predicted = [
+                object_id.replace("emblem-", "")
+                for object_id in analysis.sequence_prediction
+            ]
+            for position, party in enumerate(outcome.site.party_order):
+                size_total += 1
+                verdict = analysis.single_object.get(f"emblem-{party}")
+                if verdict is not None and verdict.identified:
+                    sizes_found += 1
+                if position < len(predicted) and predicted[position] == party:
+                    truth_positions += 1
+            for position, party in enumerate(wire_order):
+                if position < len(predicted) and predicted[position] == party:
+                    wire_positions += 1
+        denominator = trials * 8
+        result.rows_data.append([
+            "defended (shuffled)" if defended else "vanilla",
+            f"{percentage(truth_positions, denominator):.0f}%",
+            f"{percentage(wire_positions, denominator):.0f}%",
+            f"{percentage(sizes_found, size_total):.0f}%",
+        ])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# (e) HTTP/1.1 baseline
+# ---------------------------------------------------------------------------
+
+@dataclass
+class H1BaselineResult:
+    rows_data: List[List[str]] = field(default_factory=list)
+
+    def rows(self) -> List[List[str]]:
+        return self.rows_data
+
+    def render(self) -> str:
+        return format_table(
+            ["protocol", "objects of interest passively identified"],
+            self.rows(),
+            title="E8e — HTTP/1.1 vs HTTP/2 under the passive estimator",
+        )
+
+
+def run_h1_baseline(trials: int = 10, seed: int = 7) -> H1BaselineResult:
+    """Passive (no adversary) identification rate: HTTP/1.1 vs HTTP/2."""
+    workload = VolunteerWorkload(seed=seed)
+    result = H1BaselineResult()
+
+    # HTTP/2 side: clean baseline trials.
+    h2_found = 0
+    h2_total = 0
+    for trial in range(trials):
+        outcome = run_trial(trial, workload, TrialConfig())
+        analysis = outcome.analyze()
+        for object_id in outcome.site.objects_of_interest:
+            h2_total += 1
+            verdict = analysis.single_object.get(object_id)
+            if verdict is not None and verdict.success:
+                h2_found += 1
+
+    # HTTP/1.1 side: same sites over the sequential stack.
+    h1_found = 0
+    h1_total = 0
+    for trial in range(trials):
+        site = workload.session(trial)
+        rng = workload.trial_rng(trial)
+        topology = build_adversary_path(seed=rng.master_seed)
+        sim = topology.sim
+        H1Server(
+            sim, topology.server, 443, site.website.router,
+            trace=topology.trace, rng=rng,
+        )
+        client = H1Client(
+            sim, topology.client, topology.server.endpoint(443),
+            trace=topology.trace, authority="www.isidewith.com",
+        )
+        def on_ready(site=site, client=client):
+            for request in site.schedule:
+                client.get(request.obj.path)
+        client.on_ready = on_ready
+        client.connect()
+        sim.run_until(60.0)
+
+        monitor = TrafficMonitor(topology.middlebox.capture)
+        from repro.netsim.capture import Direction
+        request_times = [
+            record.time
+            for record in topology.middlebox.capture
+            if record.direction is Direction.CLIENT_TO_SERVER
+            and record.is_application_stream
+            and record.payload_bytes > 200  # H1 GETs are ~370 B
+        ]
+        estimates = SizeEstimator(delimiter_gap=0.040).estimate(
+            monitor.response_packets(), request_times=request_times
+        )
+        predictor = SizePredictor(site.size_map(), tolerance_abs=700)
+        for object_id in site.objects_of_interest:
+            h1_total += 1
+            if predictor.find_object(estimates, object_id) is not None:
+                h1_found += 1
+
+    result.rows_data.append(
+        ["HTTP/2 (multiplexed)", f"{percentage(h2_found, h2_total):.0f}%"]
+    )
+    result.rows_data.append(
+        ["HTTP/1.1 (sequential)", f"{percentage(h1_found, h1_total):.0f}%"]
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# (f) server-push defense (§VII)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PushDefenseResult:
+    rows_data: List[List[str]] = field(default_factory=list)
+
+    def rows(self) -> List[List[str]]:
+        return self.rows_data
+
+    def render(self) -> str:
+        return format_table(
+            ["deployment", "order recovered (vs true preference)",
+             "pages completed"],
+            self.rows(),
+            title="E8f — §VII server-push defense vs the attack",
+        )
+
+
+def run_push_defense(trials: int = 10, seed: int = 7) -> PushDefenseResult:
+    """Full attack against a vanilla vs a push-defended server.
+
+    The defended server pushes all 8 emblems in a canonical order on
+    the HTML's stream; the wire order is user-independent, so the
+    recovered sequence decorrelates from the true preference.
+    """
+    from repro.core.defenses import ServerPushDefense
+
+    workload = VolunteerWorkload(seed=seed)
+    defense = ServerPushDefense()
+    result = PushDefenseResult()
+    for defended in (False, True):
+        truth_positions = 0
+        completed = 0
+        for trial in range(trials):
+            site = workload.session(trial)
+            config = TrialConfig(adversary=AdversaryConfig())
+            if defended:
+                config.server = ServerConfig(push_map=defense.push_map(site))
+            outcome = run_trial(trial, workload, config)
+            if outcome.completed:
+                completed += 1
+            analysis = outcome.analyze()
+            predicted = [
+                object_id.replace("emblem-", "")
+                for object_id in analysis.sequence_prediction
+            ]
+            for position, party in enumerate(outcome.site.party_order):
+                if position < len(predicted) and predicted[position] == party:
+                    truth_positions += 1
+        denominator = trials * 8
+        result.rows_data.append([
+            "push-defended" if defended else "vanilla",
+            f"{percentage(truth_positions, denominator):.0f}%",
+            f"{completed}/{trials}",
+        ])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# (g) success accounting (DESIGN.md §5)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AccountingResult:
+    rows_data: List[List[str]] = field(default_factory=list)
+
+    def rows(self) -> List[List[str]]:
+        return self.rows_data
+
+    def render(self) -> str:
+        return format_table(
+            ["success criterion", "HTML success"],
+            self.rows(),
+            title="E8g — success accounting under jitter-only attack",
+        )
+
+
+def run_success_accounting(
+    trials: int = 15, seed: int = 7, spacing: float = 0.050
+) -> AccountingResult:
+    """Jitter-only attack scored three ways.
+
+    Figure 5's discussion hinges on the difference between counting a
+    success when *any* serving (including retransmitted duplicates)
+    of the object went out clean versus requiring the *original*
+    serving to be clean.  Ground truth separates the criteria exactly.
+    """
+    from repro.core.estimator import SizeEstimator as _SE
+    from repro.core.predictor import SizePredictor as _SP
+
+    workload = VolunteerWorkload(seed=seed)
+    any_serving = 0
+    original_only = 0
+    identified_only = 0
+    for trial in range(trials):
+        config = TrialConfig(
+            controller_setup=(
+                lambda controller: controller.install_spacing(spacing)
+            )
+        )
+        outcome = run_trial(trial, workload, config)
+        analysis = outcome.analyze()
+        verdict = analysis.single_object[HTML_OBJECT_ID]
+        if verdict.identified:
+            identified_only += 1
+            if verdict.degree_zero:
+                any_serving += 1
+            if verdict.degree_zero_original:
+                original_only += 1
+    result = AccountingResult()
+    result.rows_data.append([
+        "identified (size match alone)",
+        f"{percentage(identified_only, trials):.0f}%",
+    ])
+    result.rows_data.append([
+        "identified + any serving clean (paper's count)",
+        f"{percentage(any_serving, trials):.0f}%",
+    ])
+    result.rows_data.append([
+        "identified + original serving clean (strict)",
+        f"{percentage(original_only, trials):.0f}%",
+    ])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# (h) TCP stack variants (SACK, congestion control)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TcpVariantResult:
+    rows_data: List[List[str]] = field(default_factory=list)
+
+    def rows(self) -> List[List[str]]:
+        return self.rows_data
+
+    def render(self) -> str:
+        return format_table(
+            ["TCP variant", "HTML attack success", "server retransmitted "
+             "segments", "mean load time (s)"],
+            self.rows(),
+            title="E8h — attack robustness across TCP stack variants",
+        )
+
+
+def run_tcp_variants(trials: int = 8, seed: int = 7) -> TcpVariantResult:
+    """The full attack under four transport stacks.
+
+    The attack manipulates generic TCP mechanisms (timeouts, loss
+    recovery, windows); its success should not hinge on stack details
+    — and the drop-phase recovery cost *should* differ (SACK patches
+    holes without resending everything).
+    """
+    from dataclasses import replace as _replace
+
+    from repro.tcp.config import TCPConfig as _TCPConfig
+
+    workload = VolunteerWorkload(seed=seed)
+    result = TcpVariantResult()
+    variants = [
+        ("reno", False),
+        ("reno + sack", True),
+        ("cubic", False),
+        ("cubic + sack", True),
+    ]
+    for label, sack in variants:
+        algorithm = "cubic" if label.startswith("cubic") else "reno"
+        successes = 0
+        retransmitted = 0
+        total_time = 0.0
+        for trial in range(trials):
+            config = TrialConfig(
+                adversary=AdversaryConfig(),
+                tcp=_TCPConfig(congestion_control=algorithm, sack=sack),
+            )
+            outcome = run_trial(trial, workload, config)
+            analysis = outcome.analyze()
+            if analysis.single_object[HTML_OBJECT_ID].success:
+                successes += 1
+            if outcome.server.connections:
+                retransmitted += (
+                    outcome.server.connections[0].tcp.retransmitted_segments
+                )
+            total_time += outcome.duration
+        result.rows_data.append([
+            label,
+            f"{percentage(successes, trials):.0f}%",
+            str(retransmitted),
+            f"{total_time / trials:.1f}",
+        ])
+    return result

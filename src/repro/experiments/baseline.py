@@ -1,0 +1,126 @@
+"""E2 — baseline multiplexing without an adversary (paper §IV intro).
+
+The paper reports that, untouched, the result HTML is ≈98 % multiplexed
+(and not multiplexed at all in 32 % of downloads — Table I's first
+row), and the emblem images are 80–99 % multiplexed.  This experiment
+also measures the inter-request gaps at the gateway and compares them
+with Table II's first two rows (the timing ground truth the whole
+attack is built on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Optional
+
+from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.report import format_table, percentage
+from repro.web.isidewith import HTML_OBJECT_ID, PARTIES
+from repro.web.workload import VolunteerWorkload
+
+
+@dataclass
+class BaselineResult:
+    """Aggregates over N clean page loads."""
+
+    trials: int = 0
+    html_degrees: List[float] = field(default_factory=list)
+    image_degrees: List[float] = field(default_factory=list)
+    html_not_multiplexed: int = 0
+    images_not_multiplexed: int = 0
+    images_observed: int = 0
+    mean_get_gaps: List[float] = field(default_factory=list)
+    #: Measured gap before the HTML's GET, per trial (Table II: 500 ms).
+    html_prev_gaps: List[float] = field(default_factory=list)
+    #: Measured gap before the first emblem's GET (Table II: 780 ms).
+    first_image_prev_gaps: List[float] = field(default_factory=list)
+    #: Measured gaps between consecutive emblem GETs (Table II: ≤2 ms).
+    image_burst_gaps: List[float] = field(default_factory=list)
+
+    @property
+    def html_mean_degree(self) -> float:
+        return mean(self.html_degrees) if self.html_degrees else 0.0
+
+    @property
+    def image_mean_degree(self) -> float:
+        return mean(self.image_degrees) if self.image_degrees else 0.0
+
+    @property
+    def html_not_multiplexed_pct(self) -> float:
+        return percentage(self.html_not_multiplexed, self.trials)
+
+    @property
+    def image_not_multiplexed_pct(self) -> float:
+        return percentage(self.images_not_multiplexed, self.images_observed)
+
+    def rows(self) -> List[List[str]]:
+        return [
+            ["result HTML", f"{self.html_mean_degree:.2f}",
+             f"{self.html_not_multiplexed_pct:.0f}%"],
+            ["emblem images", f"{self.image_mean_degree:.2f}",
+             f"{self.image_not_multiplexed_pct:.0f}%"],
+        ]
+
+    def timing_rows(self) -> List[List[str]]:
+        """Measured inter-GET gaps vs Table II's first two rows."""
+        def mean_ms(values: List[float]) -> str:
+            return f"{mean(values) * 1000:.1f}" if values else "—"
+
+        return [
+            ["gap before result HTML", "500", mean_ms(self.html_prev_gaps)],
+            ["gap before first emblem", "780",
+             mean_ms(self.first_image_prev_gaps)],
+            ["gaps within emblem burst", "0.1–2",
+             mean_ms(self.image_burst_gaps)],
+        ]
+
+    def render(self) -> str:
+        degrees = format_table(
+            ["object", "mean degree of multiplexing", "not multiplexed"],
+            self.rows(),
+            title=f"E2 baseline (no adversary, {self.trials} loads)",
+        )
+        timings = format_table(
+            ["inter-request gap", "Table II (ms)", "measured (ms)"],
+            self.timing_rows(),
+        )
+        return degrees + "\n\n" + timings
+
+
+def run(trials: int = 30, seed: int = 7) -> BaselineResult:
+    """Run the baseline experiment."""
+    workload = VolunteerWorkload(seed=seed)
+    result = BaselineResult()
+    for trial in range(trials):
+        outcome = run_trial(trial, workload, TrialConfig())
+        result.trials += 1
+        degree = outcome.report.original_degree(HTML_OBJECT_ID)
+        if degree is not None:
+            result.html_degrees.append(degree)
+            if degree == 0.0:
+                result.html_not_multiplexed += 1
+        for party in PARTIES:
+            image_degree = outcome.report.original_degree(f"emblem-{party}")
+            if image_degree is None:
+                continue
+            result.images_observed += 1
+            result.image_degrees.append(image_degree)
+            if image_degree == 0.0:
+                result.images_not_multiplexed += 1
+        gaps = outcome.monitor.inter_get_gaps()
+        if gaps:
+            result.mean_get_gaps.append(mean(gaps))
+        # Table II timing check: the gateway's measured inter-GET gaps
+        # around the objects of interest (a clean load issues exactly
+        # the scheduled requests, so schedule positions index the gaps).
+        site = outcome.site
+        if len(gaps) == len(site.schedule) - 1:
+            html_gap_index = site.html_index - 1
+            if html_gap_index >= 0:
+                result.html_prev_gaps.append(gaps[html_gap_index])
+            first_image = site.image_indices[0]
+            result.first_image_prev_gaps.append(gaps[first_image - 1])
+            for image_index in site.image_indices[1:]:
+                result.image_burst_gaps.append(gaps[image_index - 1])
+    return result

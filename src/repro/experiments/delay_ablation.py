@@ -1,0 +1,91 @@
+"""E7 — §IV-A: uniform delay is useless to the adversary.
+
+    "Introducing uniform delay for all packets on the client→server
+    path cannot increase the inter-arrival time between two successive
+    packets at the server.  Hence, we do not use this parameter."
+
+The experiment adds a constant per-packet delay and shows (a) the
+observed inter-GET gaps at the gateway are unchanged, and (b) the
+multiplexing of the object of interest is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import List, Sequence
+
+from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.report import format_table, percentage
+from repro.netsim.capture import Direction
+from repro.web.isidewith import HTML_OBJECT_ID
+from repro.web.workload import VolunteerWorkload
+
+DELAYS = (0.0, 0.050, 0.100)
+
+
+@dataclass
+class DelayRow:
+    delay: float
+    trials: int = 0
+    not_multiplexed: int = 0
+    mean_get_gap_ms: float = 0.0
+
+    @property
+    def not_multiplexed_pct(self) -> float:
+        return percentage(self.not_multiplexed, self.trials)
+
+
+@dataclass
+class DelayAblationResult:
+    rows_data: List[DelayRow] = field(default_factory=list)
+
+    def rows(self) -> List[List[str]]:
+        return [
+            [
+                f"{row.delay * 1000:.0f}",
+                f"{row.mean_get_gap_ms:.1f}",
+                f"{row.not_multiplexed_pct:.0f}%",
+            ]
+            for row in self.rows_data
+        ]
+
+    def render(self) -> str:
+        return format_table(
+            ["uniform delay (ms)", "mean inter-GET gap (ms)",
+             "object not multiplexed"],
+            self.rows(),
+            title="E7 / §IV-A — uniform delay changes nothing",
+        )
+
+
+def run(
+    trials: int = 20,
+    seed: int = 7,
+    delays: Sequence[float] = DELAYS,
+) -> DelayAblationResult:
+    """Run the uniform-delay ablation."""
+    workload = VolunteerWorkload(seed=seed)
+    result = DelayAblationResult()
+    for delay in delays:
+        row = DelayRow(delay=delay)
+        gap_means: List[float] = []
+        for trial in range(trials):
+            config = TrialConfig()
+            if delay > 0:
+                config.controller_setup = (
+                    lambda controller, d=delay:
+                    controller.install_uniform_delay(
+                        d, Direction.CLIENT_TO_SERVER
+                    )
+                )
+            outcome = run_trial(trial, workload, config)
+            row.trials += 1
+            if outcome.report.min_degree(HTML_OBJECT_ID) == 0.0:
+                row.not_multiplexed += 1
+            gaps = outcome.monitor.inter_get_gaps()
+            if gaps:
+                gap_means.append(mean(gaps))
+        row.mean_get_gap_ms = mean(gap_means) * 1000 if gap_means else 0.0
+        result.rows_data.append(row)
+    return result

@@ -1,0 +1,91 @@
+"""E5 — §IV-D / Figure 6: targeted drops forcing an HTTP/2 stream reset.
+
+The full pre-escalation attack: 50 ms jitter, 800 Mbps throttle, then
+80 % drops on server→client application packets for 6 seconds starting
+at the 6th GET.  The client resets its streams; the re-requested object
+of interest is then served in single-threaded mode.  The paper reports
+≈90 % success for the HTML, and that pushing the drop rate higher broke
+the connection.
+
+The drop-rate sweep column reproduces that cliff: at 80 % the attack
+succeeds; at ≥95 % connections start breaking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.adversary import AdversaryConfig
+from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.report import format_table, percentage
+from repro.web.isidewith import HTML_OBJECT_ID
+from repro.web.workload import VolunteerWorkload
+
+DROP_RATES = (0.5, 0.8, 0.95)
+
+
+@dataclass
+class DropRow:
+    drop_rate: float
+    trials: int = 0
+    successes: int = 0
+    resets_observed: int = 0
+    broken: int = 0
+
+    @property
+    def success_pct(self) -> float:
+        return percentage(self.successes, self.trials)
+
+
+@dataclass
+class Fig6Result:
+    rows_data: List[DropRow] = field(default_factory=list)
+
+    def rows(self) -> List[List[str]]:
+        return [
+            [
+                f"{row.drop_rate * 100:.0f}%",
+                f"{row.success_pct:.0f}%",
+                str(row.resets_observed),
+                str(row.broken),
+            ]
+            for row in self.rows_data
+        ]
+
+    def render(self) -> str:
+        return format_table(
+            ["drop rate", "HTML success", "stream resets", "broken"],
+            self.rows(),
+            title="E5 / §IV-D — targeted drops and stream reset",
+        )
+
+
+def run(
+    trials: int = 30,
+    seed: int = 7,
+    drop_rates: Sequence[float] = DROP_RATES,
+) -> Fig6Result:
+    """Run the drop-rate experiment (escalation phase disabled: this is
+    the single-object §IV-D study)."""
+    workload = VolunteerWorkload(seed=seed)
+    result = Fig6Result()
+    for drop_rate in drop_rates:
+        row = DropRow(drop_rate=drop_rate)
+        for trial in range(trials):
+            adversary = AdversaryConfig(
+                drop_rate=drop_rate,
+                enable_escalation=False,
+            )
+            outcome = run_trial(
+                trial, workload, TrialConfig(adversary=adversary)
+            )
+            row.trials += 1
+            row.resets_observed += outcome.browser.resets_sent
+            if outcome.broken:
+                row.broken += 1
+            analysis = outcome.analyze()
+            if analysis.single_object[HTML_OBJECT_ID].success:
+                row.successes += 1
+        result.rows_data.append(row)
+    return result

@@ -1,0 +1,209 @@
+"""Single-trial assembly and execution.
+
+One *trial* is one volunteer's attacked (or baseline) page load: a
+fresh topology, server, browser, and optionally an adversary, run to
+page completion or a horizon.  Everything is seeded from the trial
+index so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.tcp.config import TCPConfig
+
+from repro.core.adversary import Adversary, AdversaryConfig
+from repro.core.controller import NetworkController
+from repro.core.metrics import MultiplexingReport
+from repro.core.monitor import TrafficMonitor
+from repro.core.sequence import SequenceAttack, SequenceAttackResult
+from repro.h2.client import H2Client
+from repro.h2.server import H2Server, ServerConfig
+from repro.netsim.topology import PathTopology, build_adversary_path
+from repro.simkernel.trace import TraceLog
+from repro.web.browser import Browser, BrowserConfig
+from repro.web.isidewith import IsideWithSite
+from repro.web.site import LoadSchedule
+from repro.web.workload import VolunteerWorkload
+
+
+@dataclass
+class TrialConfig:
+    """Parameters of one trial run.
+
+    Attributes:
+        adversary: attack configuration, or None for a clean baseline.
+        controller_setup: hook receiving the
+            :class:`~repro.core.controller.NetworkController` before the
+            load starts — used by the single-parameter studies (install
+            only a spacing filter, only a throttle, …).
+        server: server behaviour overrides.
+        browser: browser behaviour overrides.
+        tcp: TCP parameters for both endpoints (None = defaults; the
+            server side additionally gets the duplicate-delivery quirk
+            per the server config).
+        schedule_override: replace the site's schedule (defenses).
+        horizon: absolute simulated-time budget for the load.
+        settle_time: extra time after page completion before the
+            capture is analyzed (lets in-flight packets land).
+    """
+
+    adversary: Optional[AdversaryConfig] = None
+    controller_setup: Optional[Callable[[NetworkController], None]] = None
+    server: ServerConfig = field(default_factory=ServerConfig)
+    browser: BrowserConfig = field(default_factory=BrowserConfig)
+    tcp: Optional[TCPConfig] = None
+    schedule_override: Optional[LoadSchedule] = None
+    horizon: float = 40.0
+    settle_time: float = 0.3
+
+
+@dataclass
+class TrialResult:
+    """Everything one trial produced."""
+
+    trial: int
+    site: IsideWithSite
+    topology: PathTopology
+    server: H2Server
+    client: H2Client
+    browser: Browser
+    controller: NetworkController
+    adversary: Optional[Adversary]
+    monitor: TrafficMonitor
+    report: MultiplexingReport
+    trace: TraceLog
+    completed: bool
+    duration: float
+
+    @property
+    def broken(self) -> bool:
+        """The paper's 'broken connection': the load never finished."""
+        return not self.completed
+
+    def client_retransmissions(self) -> int:
+        """Client-side TCP retransmissions (Table I's counted quantity)."""
+        return len(
+            self.trace.select(
+                category="tcp.retransmit",
+                predicate=lambda r: str(r.get("conn", "")).startswith("client"),
+            )
+        )
+
+    def total_retransmissions(self) -> int:
+        return self.trace.count(category="tcp.retransmit")
+
+    def duplicate_servings(self) -> int:
+        """Response instances spawned by retransmitted (duplicate) GETs."""
+        return sum(1 for inst in self.server.all_instances if inst.duplicate)
+
+    def stream_resets(self) -> int:
+        return len(self.trace.select(category="h2.rst_stream.sent"))
+
+    def analyze(
+        self, attack: Optional[SequenceAttack] = None
+    ) -> SequenceAttackResult:
+        """Run the offline attack analysis for this trial."""
+        attack = attack or SequenceAttack(self.site)
+        analysis_start = 0.0
+        if self.adversary is not None:
+            # The image sequence is recovered from traffic after the
+            # drop window (the adversary controls both timestamps).
+            if self.adversary.escalation_time is not None:
+                analysis_start = self.adversary.escalation_time
+            elif self.adversary.trigger_time is not None:
+                analysis_start = self.adversary.trigger_time
+        return attack.analyze(
+            self.monitor,
+            self.report,
+            analysis_start=analysis_start,
+            broken_connection=self.broken,
+        )
+
+
+def run_trial(
+    trial: int,
+    workload: VolunteerWorkload,
+    config: Optional[TrialConfig] = None,
+) -> TrialResult:
+    """Assemble and run one trial end to end."""
+    config = config or TrialConfig()
+    site = workload.session(trial)
+    rng = workload.trial_rng(trial)
+
+    topology = build_adversary_path(seed=rng.master_seed)
+    sim = topology.sim
+    trace = topology.trace
+
+    server_tcp = None
+    if config.tcp is not None:
+        server_tcp = replace(
+            config.tcp,
+            deliver_duplicate_messages=config.server.serve_duplicate_requests,
+        )
+    server = H2Server(
+        sim,
+        topology.server,
+        443,
+        site.website.router,
+        config=config.server,
+        tcp_config=server_tcp,
+        trace=trace,
+        rng=rng,
+    )
+    client = H2Client(
+        sim,
+        topology.client,
+        topology.server.endpoint(443),
+        tcp_config=config.tcp,
+        trace=trace,
+        authority="www.isidewith.com",
+    )
+    schedule = config.schedule_override or site.schedule
+    browser = Browser(sim, client, schedule, config=config.browser, trace=trace)
+
+    controller = NetworkController(sim, topology.middlebox, rng, trace=trace)
+    adversary: Optional[Adversary] = None
+    if config.adversary is not None:
+        adversary = Adversary(controller, config.adversary, trace=trace)
+        adversary.arm()
+    if config.controller_setup is not None:
+        config.controller_setup(controller)
+
+    browser.start()
+
+    # Run in slices so we can stop soon after the page completes.
+    slice_length = 0.5
+    while sim.now < config.horizon:
+        sim.run_until(min(sim.now + slice_length, config.horizon))
+        if browser.broken:
+            break
+        if browser.page_complete:
+            sim.run_until(min(sim.now + config.settle_time, config.horizon))
+            break
+
+    completed = browser.page_complete and not browser.broken
+    monitor = TrafficMonitor(topology.middlebox.capture)
+    if server.connections:
+        report = MultiplexingReport.from_layout(
+            server.connections[0].tcp.layout
+        )
+    else:
+        report = MultiplexingReport()
+
+    return TrialResult(
+        trial=trial,
+        site=site,
+        topology=topology,
+        server=server,
+        client=client,
+        browser=browser,
+        controller=controller,
+        adversary=adversary,
+        monitor=monitor,
+        report=report,
+        trace=trace,
+        completed=completed,
+        duration=sim.now,
+    )

@@ -1,0 +1,111 @@
+"""Trial inspection: human-readable timelines of a trial.
+
+Debugging and exploration aids used throughout development and exposed
+as part of the public API: given a
+:class:`~repro.experiments.harness.TrialResult`, produce a merged
+timeline of attack phases, browser actions, TCP pathology and
+ground-truth servings, plus a wire-view of the adversary's burst
+estimates next to the truth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.estimator import SizeEstimator
+from repro.experiments.harness import TrialResult
+
+#: Trace categories worth a timeline line, with display labels.
+_TIMELINE_CATEGORIES = {
+    "attack.armed": "ATTACK armed",
+    "attack.triggered": "ATTACK triggered (drop phase)",
+    "attack.escalated": "ATTACK escalated jitter",
+    "adversary.bandwidth": "ATTACK bandwidth limit",
+    "browser.reset": "BROWSER reset all streams",
+    "browser.broken": "BROWSER gave up",
+    "browser.page_complete": "BROWSER page complete",
+    "tcp.retransmit": "TCP retransmit",
+    "h2.rst_stream.sent": "H2 RST_STREAM",
+}
+
+
+def timeline(result: TrialResult, max_lines: int = 200) -> str:
+    """A merged, time-ordered view of one trial's notable events."""
+    lines: List[Tuple[float, str]] = []
+    for record in result.trace:
+        label = _TIMELINE_CATEGORIES.get(record.category)
+        if label is None:
+            continue
+        detail = ""
+        if record.category == "tcp.retransmit":
+            detail = f" ({record.get('kind')}, {record.get('conn')})"
+        elif record.category == "browser.reset":
+            detail = f" ({record.get('streams')} streams)"
+        lines.append((record.time, f"{record.time:8.3f}s  {label}{detail}"))
+    for instance in result.server.all_instances:
+        tag = " [dup]" if instance.duplicate else ""
+        tag += " [cancelled]" if instance.cancelled else ""
+        lines.append(
+            (
+                instance.started_at,
+                f"{instance.started_at:8.3f}s  SERVE {instance.object_id}"
+                f" ({instance.body_bytes} B){tag}",
+            )
+        )
+    lines.sort(key=lambda pair: pair[0])
+    shown = [text for _, text in lines[:max_lines]]
+    if len(lines) > max_lines:
+        shown.append(f"… {len(lines) - max_lines} more events")
+    return "\n".join(shown)
+
+
+def wire_view(
+    result: TrialResult,
+    since: float = 0.0,
+    estimator: Optional[SizeEstimator] = None,
+) -> str:
+    """The adversary's burst estimates annotated with ground truth.
+
+    Each estimated burst is matched (by time overlap) against the
+    response instances the server actually transmitted, so you can see
+    at a glance which bursts are clean objects, merges, or duplicates.
+    """
+    estimator = estimator or SizeEstimator()
+    estimates = estimator.estimate(result.monitor.response_packets(since))
+    instances = sorted(
+        (instance for instance in result.server.all_instances
+         if instance.started_at >= since),
+        key=lambda instance: instance.started_at,
+    )
+    lines = []
+    for estimate in estimates:
+        overlapping = [
+            instance for instance in instances
+            if instance.started_at <= estimate.end_time
+            and (instance.finished_at or instance.started_at)
+            >= estimate.start_time - 0.2
+        ]
+        names = ", ".join(
+            f"{i.object_id}{'*' if i.duplicate else ''}"
+            for i in overlapping[:4]
+        )
+        if len(overlapping) > 4:
+            names += ", …"
+        lines.append(
+            f"{estimate.start_time:8.3f}s  {estimate.payload_bytes:>8d} B "
+            f"({estimate.packets:>3d} pkts)  ≈ {names or '?'}"
+        )
+    return "\n".join(lines)
+
+
+def summary(result: TrialResult) -> str:
+    """One-paragraph trial summary."""
+    return (
+        f"trial {result.trial}: "
+        f"{'completed' if result.completed else 'BROKEN'} "
+        f"in {result.duration:.1f}s; "
+        f"{len(result.topology.middlebox.capture)} packets captured, "
+        f"{result.client_retransmissions()} client retransmissions, "
+        f"{result.duplicate_servings()} duplicate servings, "
+        f"{result.browser.resets_sent} browser resets"
+    )

@@ -1,0 +1,106 @@
+"""Terminal plotting: render experiment series as ASCII charts.
+
+The benchmarks print the paper's tables; for the *figures* (Figure 5's
+two curves, Table I's trend) a quick visual in the terminal is often
+clearer.  No plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart.
+
+    Raises:
+        ValueError: on mismatched inputs or an empty series.
+    """
+    if len(labels) != len(values) or not labels:
+        raise ValueError("labels and values must be non-empty and aligned")
+    peak = max(values)
+    scale = (width / peak) if peak > 0 else 0.0
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "█" * max(0, round(value * scale))
+        if value > 0 and not bar:
+            bar = "▏"
+        lines.append(
+            f"{label:>{label_width}} │{bar} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """A scatter/line chart on a character grid.
+
+    Raises:
+        ValueError: on mismatched inputs or fewer than two points.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two aligned points")
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, mark: str) -> None:
+        column = round((x - x_low) / x_span * (width - 1))
+        row = height - 1 - round((y - y_low) / y_span * (height - 1))
+        grid[row][column] = mark
+
+    # Linear interpolation between consecutive points.
+    points = sorted(zip(xs, ys))
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        steps = max(2, round((x1 - x0) / x_span * width))
+        for step in range(steps + 1):
+            fraction = step / steps
+            place(x0 + (x1 - x0) * fraction, y0 + (y1 - y0) * fraction, "·")
+    for x, y in points:
+        place(x, y, "●")
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_high:>10.6g} ┐")
+    for row in grid:
+        lines.append(" " * 11 + "│" + "".join(row))
+    lines.append(f"{y_low:>10.6g} ┘")
+    lines.append(
+        " " * 12 + f"{x_low:<10.6g}" + " " * max(0, width - 20) + f"{x_high:>10.6g}"
+    )
+    return "\n".join(lines)
+
+
+def series_from_rows(
+    rows: Sequence[Sequence[object]],
+    x_column: int,
+    y_column: int,
+) -> Tuple[List[float], List[float]]:
+    """Extract numeric (x, y) series from rendered table rows.
+
+    Percentage signs and unit suffixes are stripped.
+    """
+    def to_number(value: object) -> float:
+        text = str(value).strip().rstrip("%").replace("+", "")
+        return float(text)
+
+    xs = [to_number(row[x_column]) for row in rows]
+    ys = [to_number(row[y_column]) for row in rows]
+    return xs, ys

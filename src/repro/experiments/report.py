@@ -1,0 +1,38 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table (paper-style rows)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[index]) for row in cells)) if cells
+        else len(header)
+        for index, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            " | ".join(value.ljust(width) for value, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def percentage(numerator: int, denominator: int) -> float:
+    """Percentage with zero-denominator safety."""
+    if denominator == 0:
+        return 0.0
+    return 100.0 * numerator / denominator

@@ -1,0 +1,156 @@
+"""E14 — sensitivity sweeps over the attack's design knobs.
+
+The paper fixes three magic numbers — 50 ms jitter, 6 s of drops, 80 ms
+escalated jitter — after coarse experiments.  These sweeps map the
+neighbourhoods of those choices so a user can see *why* they are where
+they are:
+
+* ``jitter_curve``    — Table I at a finer grain (the §IV-B saturation).
+* ``drop_duration``   — too short and the client never resets; longer
+  than the client's stall timeout buys nothing (the §IV-D choice).
+* ``escalation_curve``— the spacing of the re-requested image burst:
+  too small re-multiplexes, too large compounds actuator error and
+  stretches the tail (the §V choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.core.adversary import AdversaryConfig
+from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.plotting import bar_chart
+from repro.experiments.report import format_table, percentage
+from repro.web.isidewith import HTML_OBJECT_ID
+from repro.web.workload import VolunteerWorkload
+
+
+@dataclass
+class SweepResult:
+    """A labelled 1-D sweep: x values and one or two y series."""
+
+    title: str
+    x_label: str
+    xs: List[float] = field(default_factory=list)
+    primary_label: str = ""
+    primary: List[float] = field(default_factory=list)
+    secondary_label: str = ""
+    secondary: List[float] = field(default_factory=list)
+
+    def rows(self) -> List[List[str]]:
+        rows = []
+        for index, x in enumerate(self.xs):
+            row = [f"{x:g}", f"{self.primary[index]:.0f}"]
+            if self.secondary:
+                row.append(f"{self.secondary[index]:.0f}")
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        headers = [self.x_label, self.primary_label]
+        if self.secondary:
+            headers.append(self.secondary_label)
+        table = format_table(headers, self.rows(), title=self.title)
+        chart = bar_chart(
+            [f"{x:g}" for x in self.xs],
+            self.primary,
+            title=f"{self.primary_label} by {self.x_label}",
+        )
+        return table + "\n\n" + chart
+
+
+def jitter_curve(
+    trials: int = 10,
+    seed: int = 7,
+    spacings_ms: Sequence[float] = (0, 20, 40, 60, 80, 100, 120),
+) -> SweepResult:
+    """Fine-grained Table I: serialization rises then saturates."""
+    workload = VolunteerWorkload(seed=seed)
+    result = SweepResult(
+        title="E14a — jitter sweep (fine-grained Table I)",
+        x_label="spacing (ms)",
+        primary_label="HTML not multiplexed (%)",
+        secondary_label="client retransmissions",
+    )
+    for spacing_ms in spacings_ms:
+        not_multiplexed = 0
+        retransmissions = 0
+        for trial in range(trials):
+            config = TrialConfig()
+            if spacing_ms:
+                config.controller_setup = (
+                    lambda controller, s=spacing_ms / 1000.0:
+                    controller.install_spacing(s)
+                )
+            outcome = run_trial(trial, workload, config)
+            if outcome.report.min_degree(HTML_OBJECT_ID) == 0.0:
+                not_multiplexed += 1
+            retransmissions += outcome.client_retransmissions()
+        result.xs.append(spacing_ms)
+        result.primary.append(percentage(not_multiplexed, trials))
+        result.secondary.append(float(retransmissions))
+    return result
+
+
+def drop_duration(
+    trials: int = 10,
+    seed: int = 7,
+    durations: Sequence[float] = (2.0, 4.0, 6.0, 9.0),
+) -> SweepResult:
+    """The §IV-D window length: the client must be starved past its
+    stall timeout for the reset to happen."""
+    workload = VolunteerWorkload(seed=seed)
+    result = SweepResult(
+        title="E14b — drop-window duration",
+        x_label="drop duration (s)",
+        primary_label="HTML attack success (%)",
+        secondary_label="browser resets (total)",
+    )
+    for duration in durations:
+        successes = 0
+        resets = 0
+        for trial in range(trials):
+            adversary = AdversaryConfig(
+                drop_duration=duration, enable_escalation=False
+            )
+            outcome = run_trial(trial, workload,
+                                TrialConfig(adversary=adversary))
+            resets += outcome.browser.resets_sent
+            analysis = outcome.analyze()
+            if analysis.single_object[HTML_OBJECT_ID].success:
+                successes += 1
+        result.xs.append(duration)
+        result.primary.append(percentage(successes, trials))
+        result.secondary.append(float(resets))
+    return result
+
+
+def escalation_curve(
+    trials: int = 10,
+    seed: int = 7,
+    spacings_ms: Sequence[float] = (40, 80, 120, 160),
+) -> SweepResult:
+    """The §V escalated spacing for the image burst."""
+    workload = VolunteerWorkload(seed=seed)
+    result = SweepResult(
+        title="E14c — escalated spacing for the image burst",
+        x_label="escalated spacing (ms)",
+        primary_label="mean image positions correct (of 8)",
+    )
+    for spacing_ms in spacings_ms:
+        positions = 0
+        for trial in range(trials):
+            adversary = AdversaryConfig(
+                escalated_jitter=spacing_ms / 1000.0
+            )
+            outcome = run_trial(trial, workload,
+                                TrialConfig(adversary=adversary))
+            analysis = outcome.analyze()
+            positions += sum(
+                1 for object_id in analysis.sequence_truth
+                if analysis.sequence_correct.get(object_id)
+            )
+        result.xs.append(spacing_ms)
+        result.primary.append(positions / trials)
+    return result

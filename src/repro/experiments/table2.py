@@ -1,0 +1,100 @@
+"""E6 — Table II: end-to-end prediction accuracy on isidewith.com.
+
+The full four-phase attack against complete volunteer sessions, scored
+two ways per object of interest (the HTML plus the 8 emblem images):
+
+* **one object at a time** — the adversary targets just this object;
+  success = size identified from traffic AND degree of multiplexing 0.
+  Paper: 100 % for all nine objects.
+* **all objects at a time** — the adversary recovers the whole image
+  sequence in one pass; per object, success additionally requires the
+  object to sit at its true position in the predicted order.
+  Paper: HTML 90 %, I1..I8 = 90, 85, 81, 80, 62, 64, 78, 64 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Optional
+
+from repro.core.adversary import AdversaryConfig
+from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.report import format_table, percentage
+from repro.web.isidewith import HTML_OBJECT_ID
+from repro.web.workload import VolunteerWorkload
+
+COLUMNS = ["HTML", "I1", "I2", "I3", "I4", "I5", "I6", "I7", "I8"]
+
+#: Table II reference values from the paper, for EXPERIMENTS.md.
+PAPER_SINGLE = {column: 100 for column in COLUMNS}
+PAPER_SEQUENCE = dict(
+    zip(COLUMNS, [90, 90, 85, 81, 80, 62, 64, 78, 64])
+)
+
+
+@dataclass
+class Table2Result:
+    trials: int = 0
+    single_successes: Dict[str, int] = field(default_factory=dict)
+    sequence_successes: Dict[str, int] = field(default_factory=dict)
+    broken: int = 0
+    mean_gap_before_html_ms: float = 0.0
+
+    def single_pct(self, column: str) -> float:
+        return percentage(self.single_successes.get(column, 0), self.trials)
+
+    def sequence_pct(self, column: str) -> float:
+        return percentage(self.sequence_successes.get(column, 0), self.trials)
+
+    def rows(self) -> List[List[str]]:
+        single = ["one object at a time"] + [
+            f"{self.single_pct(column):.0f}%" for column in COLUMNS
+        ]
+        sequence = ["all objects at a time"] + [
+            f"{self.sequence_pct(column):.0f}%" for column in COLUMNS
+        ]
+        return [single, sequence]
+
+    def render(self) -> str:
+        return format_table(
+            ["adversary target"] + COLUMNS,
+            self.rows(),
+            title=f"E6 / Table II — prediction accuracy ({self.trials} sessions)",
+        )
+
+
+def run(
+    trials: int = 30,
+    seed: int = 7,
+    adversary: Optional[AdversaryConfig] = None,
+) -> Table2Result:
+    """Run the end-to-end attack over ``trials`` volunteer sessions."""
+    workload = VolunteerWorkload(seed=seed)
+    result = Table2Result()
+    for column in COLUMNS:
+        result.single_successes[column] = 0
+        result.sequence_successes[column] = 0
+    for trial in range(trials):
+        config = TrialConfig(adversary=adversary or AdversaryConfig())
+        outcome = run_trial(trial, workload, config)
+        result.trials += 1
+        if outcome.broken:
+            result.broken += 1
+        analysis = outcome.analyze()
+
+        # Column "HTML".
+        if analysis.single_object[HTML_OBJECT_ID].success:
+            result.single_successes["HTML"] += 1
+        if analysis.sequence_correct.get(HTML_OBJECT_ID):
+            result.sequence_successes["HTML"] += 1
+
+        # Columns I1..I8 follow this session's preference order.
+        for position, object_id in enumerate(analysis.sequence_truth):
+            column = f"I{position + 1}"
+            verdict = analysis.single_object.get(object_id)
+            if verdict is not None and verdict.success:
+                result.single_successes[column] += 1
+            if analysis.sequence_correct.get(object_id):
+                result.sequence_successes[column] += 1
+    return result

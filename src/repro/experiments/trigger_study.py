@@ -1,0 +1,149 @@
+"""E9 — learning-based attack triggering (paper §VII, future work).
+
+The §V attack fires at the 6th GET.  Against a returning visitor whose
+browser serves some of the pre-HTML objects from cache, the HTML slides
+to an earlier position and a fixed-index trigger attacks the wrong
+object.  This experiment:
+
+1. generates *cached-visitor* sessions (each pre-HTML request dropped
+   with some probability — the HTML is then the 3rd..6th GET);
+2. trains :class:`~repro.core.trigger.HtmlGetClassifier` on profiling
+   runs (the adversary loading the site itself, assumption 4); and
+3. compares trigger accuracy — did the drop phase fire on the HTML's
+   GET? — between the fixed-index and the classifier trigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.trigger import HtmlGetClassifier
+from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.report import format_table, percentage
+from repro.web.isidewith import HTML_OBJECT_ID, IsideWithSite
+from repro.web.site import LoadSchedule, ScheduledRequest
+from repro.web.workload import VolunteerWorkload
+
+
+def cached_variant(
+    site: IsideWithSite,
+    rng,
+    cache_probability: float = 0.5,
+) -> Tuple[LoadSchedule, int]:
+    """A returning visitor's schedule: pre-HTML requests may be cached.
+
+    Each request before the HTML is dropped with ``cache_probability``
+    (its gap folds into the next request so absolute timing is
+    preserved).  Returns the new schedule and the HTML's new 0-based
+    position.
+    """
+    requests: List[ScheduledRequest] = []
+    carried_gap = 0.0
+    html_index: Optional[int] = None
+    stream = rng.stream("cache")
+    for index, request in enumerate(site.schedule):
+        is_pre_html = index < site.html_index
+        if is_pre_html and stream.random() < cache_probability:
+            carried_gap += request.gap
+            continue
+        requests.append(
+            ScheduledRequest(
+                request.gap + carried_gap,
+                request.obj,
+                request.priority_weight,
+                request.script_triggered,
+            )
+        )
+        carried_gap = 0.0
+        if request.obj.object_id == HTML_OBJECT_ID:
+            html_index = len(requests) - 1
+    assert html_index is not None
+    return LoadSchedule(requests), html_index
+
+
+@dataclass
+class TriggerStudyResult:
+    rows_data: List[List[str]] = field(default_factory=list)
+
+    def rows(self) -> List[List[str]]:
+        return self.rows_data
+
+    def render(self) -> str:
+        return format_table(
+            ["trigger", "fired on the HTML's GET", "mean index error"],
+            self.rows(),
+            title="E9 / §VII — fixed-index vs learned attack trigger",
+        )
+
+
+def run(
+    trials: int = 12,
+    training_trials: int = 10,
+    seed: int = 7,
+    cache_probability: float = 0.5,
+) -> TriggerStudyResult:
+    """Run the trigger study.
+
+    Profiling (training) runs use *clean and cached* baseline loads of
+    the adversary's own; evaluation runs are cached-visitor sessions.
+    """
+    workload = VolunteerWorkload(seed=seed)
+
+    # ---- profiling phase: train the classifier --------------------------
+    sessions = []
+    html_indices = []
+    for trial in range(training_trials):
+        site = workload.session(trial)
+        rng = workload.trial_rng(trial).spawn("profiling")
+        if trial % 2 == 0:
+            schedule, html_index = site.schedule, site.html_index
+        else:
+            schedule, html_index = cached_variant(
+                site, rng, cache_probability
+            )
+        outcome = run_trial(
+            trial, workload, TrialConfig(schedule_override=schedule)
+        )
+        sessions.append(outcome.monitor.get_requests())
+        html_indices.append(html_index)
+    classifier = HtmlGetClassifier(k=3).fit(sessions, html_indices)
+
+    # ---- evaluation phase ------------------------------------------------
+    fixed_hits = 0
+    learned_hits = 0
+    fixed_errors: List[int] = []
+    learned_errors: List[int] = []
+    offset = training_trials
+    for trial in range(offset, offset + trials):
+        site = workload.session(trial)
+        rng = workload.trial_rng(trial).spawn("evaluation")
+        schedule, html_index = cached_variant(site, rng, cache_probability)
+        outcome = run_trial(
+            trial, workload, TrialConfig(schedule_override=schedule)
+        )
+        observations = outcome.monitor.get_requests()
+
+        fixed_prediction = 5  # "the 6th GET", 0-based
+        learned = classifier.predict_index(observations)
+        learned_prediction = learned if learned is not None else fixed_prediction
+
+        if fixed_prediction == html_index:
+            fixed_hits += 1
+        if learned_prediction == html_index:
+            learned_hits += 1
+        fixed_errors.append(abs(fixed_prediction - html_index))
+        learned_errors.append(abs(learned_prediction - html_index))
+
+    result = TriggerStudyResult()
+    result.rows_data.append([
+        "fixed index (6th GET)",
+        f"{percentage(fixed_hits, trials):.0f}%",
+        f"{sum(fixed_errors) / trials:.2f}",
+    ])
+    result.rows_data.append([
+        "k-NN classifier",
+        f"{percentage(learned_hits, trials):.0f}%",
+        f"{sum(learned_errors) / trials:.2f}",
+    ])
+    return result

@@ -1,0 +1,25 @@
+"""HTTP/1.1 over the simulated TLS/TCP stack — the baseline protocol.
+
+HTTP/1.1 processes requests strictly sequentially on a connection
+(§II of the paper): the server finishes one response before starting
+the next, so every object is a contiguous run on the TCP stream and
+the classic size side-channel works against it without *any* active
+interference.  This package exists as the comparison point: the
+passive estimator that fails against multiplexed HTTP/2 succeeds
+against HTTP/1.1 out of the box (ablation E8).
+"""
+
+from repro.h1.client import H1Client, H1ResponseHandle
+from repro.h1.message import H1Chunk, H1RequestMessage, H1ResponseHead
+from repro.h1.server import H1ResponseInstance, H1Server, H1ServerConfig
+
+__all__ = [
+    "H1Chunk",
+    "H1Client",
+    "H1RequestMessage",
+    "H1ResponseHandle",
+    "H1ResponseHead",
+    "H1ResponseInstance",
+    "H1Server",
+    "H1ServerConfig",
+]

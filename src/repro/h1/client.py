@@ -1,0 +1,116 @@
+"""The HTTP/1.1 client: one outstanding request at a time."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.h1.message import H1Chunk, H1RequestMessage, H1ResponseHead
+from repro.netsim.address import Endpoint
+from repro.netsim.node import Host
+from repro.simkernel.simulator import Simulator
+from repro.simkernel.trace import TraceLog
+from repro.tcp.config import TCPConfig
+from repro.tcp.connection import TCPConnection
+from repro.tls.session import TLSRole, TLSSession
+
+
+@dataclass
+class H1ResponseHandle:
+    """Progress of one GET."""
+
+    path: str
+    requested_at: float
+    sent_at: Optional[float] = None
+    head: Optional[H1ResponseHead] = None
+    received_bytes: int = 0
+    complete: bool = False
+    completed_at: Optional[float] = None
+    on_complete: Optional[Callable[["H1ResponseHandle"], None]] = None
+
+
+class H1Client:
+    """A keep-alive HTTP/1.1 client without pipelining.
+
+    ``get`` enqueues; requests go on the wire one at a time, each after
+    the previous response completes — the protocol behaviour that makes
+    object sizes trivially readable to an eavesdropper.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        server: Endpoint,
+        local_port: int = 49152,
+        tcp_config: Optional[TCPConfig] = None,
+        trace: Optional[TraceLog] = None,
+        authority: str = "www.example.com",
+    ) -> None:
+        self.sim = sim
+        self.authority = authority
+        self._trace = trace
+        self.tcp = TCPConnection(
+            sim, host, local_port, server,
+            config=tcp_config or TCPConfig(),
+            trace=trace, name=f"client:{local_port}",
+        )
+        self.tls = TLSSession(self.tcp, TLSRole.CLIENT, trace=trace)
+        self.tls.on_application_record = self._on_record
+        self.on_ready: Optional[Callable[[], None]] = None
+        previous = self.tls.on_handshake_complete
+        def ready() -> None:
+            if previous:
+                previous()
+            if self.on_ready:
+                self.on_ready()
+            self._pump()
+        self.tls.on_handshake_complete = ready
+        self._pending: Deque[H1ResponseHandle] = deque()
+        self._in_flight: Optional[H1ResponseHandle] = None
+        self.handles: List[H1ResponseHandle] = []
+
+    def connect(self) -> None:
+        self.tcp.connect()
+
+    @property
+    def ready(self) -> bool:
+        return self.tls.handshake_complete
+
+    def get(self, path: str) -> H1ResponseHandle:
+        """Queue a GET (sent when the connection becomes free)."""
+        handle = H1ResponseHandle(path=path, requested_at=self.sim.now)
+        self._pending.append(handle)
+        self.handles.append(handle)
+        self._pump()
+        return handle
+
+    def _pump(self) -> None:
+        if not self.ready or self._in_flight is not None or not self._pending:
+            return
+        handle = self._pending.popleft()
+        self._in_flight = handle
+        handle.sent_at = self.sim.now
+        request = H1RequestMessage(handle.path, self.authority)
+        self.tls.send_application(request, request.wire_length)
+
+    def _on_record(self, payload: Any, duplicate: bool) -> None:
+        if duplicate or self._in_flight is None:
+            return
+        handle = self._in_flight
+        if isinstance(payload, H1ResponseHead):
+            handle.head = payload
+        elif isinstance(payload, H1Chunk):
+            handle.received_bytes += payload.body_bytes
+            if payload.last:
+                handle.complete = True
+                handle.completed_at = self.sim.now
+                self._in_flight = None
+                if handle.on_complete:
+                    handle.on_complete(handle)
+                self._pump()
+
+    @property
+    def all_complete(self) -> bool:
+        return all(handle.complete for handle in self.handles)

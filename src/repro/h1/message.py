@@ -1,0 +1,75 @@
+"""HTTP/1.1 messages as size models.
+
+HTTP/1.1 headers are plain text; sizes are computed from realistic
+header templates so the TLS records carrying them have correct lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Fixed parts of a GET request ("GET <path> HTTP/1.1\r\n" + typical
+#: browser headers: Host, User-Agent, Accept*, Connection: keep-alive).
+REQUEST_BASE_BYTES = 360
+
+#: Fixed parts of a response status line + typical server headers.
+RESPONSE_HEAD_BASE_BYTES = 230
+
+
+@dataclass
+class H1RequestMessage:
+    """One GET request on the wire."""
+
+    path: str
+    authority: str = "www.example.com"
+
+    @property
+    def wire_length(self) -> int:
+        return REQUEST_BASE_BYTES + len(self.path) + len(self.authority)
+
+    def __repr__(self) -> str:
+        return f"H1RequestMessage({self.path!r})"
+
+
+@dataclass
+class H1ResponseHead:
+    """Response status line and headers.
+
+    ``context`` references the response instance for ground-truth
+    multiplexing accounting (always degree 0 under HTTP/1.1 — that is
+    the point of the baseline).
+    """
+
+    status: int
+    content_length: int
+    content_type: str
+    context: Any = None
+
+    @property
+    def wire_length(self) -> int:
+        return (
+            RESPONSE_HEAD_BASE_BYTES
+            + len(str(self.content_length))
+            + len(self.content_type)
+        )
+
+    def __repr__(self) -> str:
+        return f"H1ResponseHead({self.status}, len={self.content_length})"
+
+
+@dataclass
+class H1Chunk:
+    """A run of response body bytes."""
+
+    body_bytes: int
+    last: bool
+    context: Any = None
+
+    @property
+    def wire_length(self) -> int:
+        return self.body_bytes
+
+    def __repr__(self) -> str:
+        marker = " last" if self.last else ""
+        return f"H1Chunk({self.body_bytes}B{marker})"

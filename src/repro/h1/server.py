@@ -1,0 +1,175 @@
+"""The sequential HTTP/1.1 server.
+
+Requests queue and are served strictly one at a time — the
+head-of-line-blocking behaviour the paper contrasts HTTP/2 against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, List, Optional
+
+from repro.h2.server import ResourceSpec, Router
+from repro.h1.message import H1Chunk, H1RequestMessage, H1ResponseHead
+from repro.netsim.node import Host
+from repro.simkernel.randomstream import RandomStreams
+from repro.simkernel.simulator import Simulator
+from repro.simkernel.trace import TraceLog
+from repro.tcp.config import TCPConfig
+from repro.tcp.connection import TCPConnection
+from repro.tcp.listener import TCPListener
+from repro.tls.session import TLSRole, TLSSession
+
+_h1_instance_ids = itertools.count(1)
+
+
+@dataclass
+class H1ServerConfig:
+    """Server behaviour knobs (mirrors the HTTP/2 server's)."""
+
+    think_time: float = 0.001
+    chunk_bytes: int = 2048
+    chunk_interval: float = 0.0004
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk size must be positive")
+
+
+@dataclass(eq=False)
+class H1ResponseInstance:
+    """One serving of one object (sequential, so never interleaved)."""
+
+    instance_id: int
+    object_id: str
+    path: str
+    body_bytes: int
+    started_at: float
+    finished_at: Optional[float] = None
+    bytes_emitted: int = 0
+
+    #: Present for interface parity with the HTTP/2 instance.
+    duplicate: bool = False
+    cancelled: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return self.finished_at is not None
+
+
+class _H1ServedConnection:
+    """One client connection: a request queue drained sequentially."""
+
+    def __init__(self, server: "H1Server", tcp: TCPConnection) -> None:
+        self.server = server
+        self.tcp = tcp
+        self.tls = TLSSession(tcp, TLSRole.SERVER, trace=server._trace)
+        self.tls.on_application_record = self._on_record
+        self.instances: List[H1ResponseInstance] = []
+        self._queue: Deque[H1RequestMessage] = deque()
+        self._busy = False
+
+    def _on_record(self, payload: Any, duplicate: bool) -> None:
+        if not isinstance(payload, H1RequestMessage):
+            return
+        if duplicate:
+            return  # HTTP/1.1 server state machine reads the stream once.
+        self._queue.append(payload)
+        self._drain()
+
+    def _drain(self) -> None:
+        if self._busy or not self._queue:
+            return
+        request = self._queue.popleft()
+        self._busy = True
+        resource = self.server.router(request.path)
+        if resource is None:
+            resource = ResourceSpec(request.path, 160, "text/html", status=404,
+                                    object_id="__404__")
+        instance = H1ResponseInstance(
+            instance_id=next(_h1_instance_ids),
+            object_id=resource.object_id or request.path,
+            path=request.path,
+            body_bytes=resource.body_bytes,
+            started_at=self.server.sim.now,
+        )
+        self.instances.append(instance)
+        self.server.sim.schedule(
+            self.server.draw_think_time(resource),
+            lambda: self._emit_head(instance, resource),
+        )
+
+    def _emit_head(self, instance: H1ResponseInstance, resource: ResourceSpec) -> None:
+        head = H1ResponseHead(
+            status=resource.status,
+            content_length=resource.body_bytes,
+            content_type=resource.content_type,
+            context=instance,
+        )
+        self.tls.send_application(head, head.wire_length)
+        self._emit_chunk(instance)
+
+    def _emit_chunk(self, instance: H1ResponseInstance) -> None:
+        remaining = instance.body_bytes - instance.bytes_emitted
+        size = min(self.server.config.chunk_bytes, remaining)
+        last = size >= remaining
+        chunk = H1Chunk(body_bytes=size, last=last, context=instance)
+        self.tls.send_application(chunk, chunk.wire_length)
+        instance.bytes_emitted += size
+        if last:
+            instance.finished_at = self.server.sim.now
+            self._busy = False
+            self._drain()  # next queued request — strictly sequential
+        else:
+            self.server.sim.schedule(
+                self.server.config.chunk_interval,
+                lambda: self._emit_chunk(instance),
+            )
+
+
+class H1Server:
+    """The HTTP/1.1 origin server (one response at a time)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        port: int,
+        router: Router,
+        config: Optional[H1ServerConfig] = None,
+        tcp_config: Optional[TCPConfig] = None,
+        trace: Optional[TraceLog] = None,
+        rng: Optional[RandomStreams] = None,
+    ) -> None:
+        self.sim = sim
+        self.router = router
+        self.config = config or H1ServerConfig()
+        self._trace = trace
+        self._rng = rng
+        self.connections: List[_H1ServedConnection] = []
+        self.listener = TCPListener(
+            sim, host, port, self._on_accept,
+            config=tcp_config or TCPConfig(), trace=trace,
+        )
+
+    def _on_accept(self, tcp: TCPConnection) -> None:
+        self.connections.append(_H1ServedConnection(self, tcp))
+
+    def draw_think_time(self, resource: ResourceSpec) -> float:
+        """Same think-time model as the HTTP/2 server."""
+        if resource.think_time_range is None:
+            return self.config.think_time
+        low, high = resource.think_time_range
+        if self._rng is None or high <= low:
+            return (low + high) / 2.0
+        return self._rng.uniform(f"h1.think.{resource.path}", low, high)
+
+    @property
+    def all_instances(self) -> List[H1ResponseInstance]:
+        return [
+            instance
+            for connection in self.connections
+            for instance in connection.instances
+        ]

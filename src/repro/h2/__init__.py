@@ -1,0 +1,80 @@
+"""HTTP/2 (RFC 7540) over the simulated TLS/TCP stack.
+
+Implements the pieces of HTTP/2 the paper's attack interacts with:
+
+* binary framing (HEADERS, DATA, SETTINGS, RST_STREAM, WINDOW_UPDATE,
+  PRIORITY, PING, GOAWAY) with exact wire sizes,
+* the stream state machine, including RST_STREAM semantics — the server
+  **flushes queued segments of a reset stream**, the behaviour the
+  targeted-packet-drop phase of the attack exploits,
+* connection- and stream-level flow control,
+* a dependency/weight priority tree,
+* a **multiplexing scheduler** that interleaves concurrently served
+  responses on one TCP stream (the privacy mechanism under attack), and
+* a multi-worker server model where each GET spawns a handler "thread"
+  (duplicate GETs from TCP retransmissions optionally spawn duplicate
+  handlers, reproducing the paper's Section IV-B observation).
+"""
+
+from repro.h2.client import H2Client, ResponseHandle
+from repro.h2.connection import H2Connection, H2Role
+from repro.h2.errors import H2Error, H2ErrorCode, ProtocolError, StreamError
+from repro.h2.frames import (
+    ContinuationFrame,
+    DataFrame,
+    Frame,
+    FRAME_HEADER_BYTES,
+    GoAwayFrame,
+    HeadersFrame,
+    PingFrame,
+    PriorityFrame,
+    PushPromiseFrame,
+    RstStreamFrame,
+    SettingsFrame,
+    WindowUpdateFrame,
+)
+from repro.h2.flowcontrol import FlowControlWindow
+from repro.h2.mux import (
+    FifoScheduler,
+    MuxScheduler,
+    PriorityScheduler,
+    RoundRobinScheduler,
+)
+from repro.h2.priority import PriorityTree
+from repro.h2.server import H2Server, ServerConfig
+from repro.h2.settings import H2Settings
+from repro.h2.stream import H2Stream, StreamState
+
+__all__ = [
+    "ContinuationFrame",
+    "DataFrame",
+    "FRAME_HEADER_BYTES",
+    "FifoScheduler",
+    "FlowControlWindow",
+    "Frame",
+    "GoAwayFrame",
+    "H2Client",
+    "H2Connection",
+    "H2Error",
+    "H2ErrorCode",
+    "H2Role",
+    "H2Server",
+    "H2Settings",
+    "H2Stream",
+    "HeadersFrame",
+    "MuxScheduler",
+    "PingFrame",
+    "PriorityFrame",
+    "PriorityScheduler",
+    "PriorityTree",
+    "ProtocolError",
+    "PushPromiseFrame",
+    "ResponseHandle",
+    "RoundRobinScheduler",
+    "RstStreamFrame",
+    "ServerConfig",
+    "SettingsFrame",
+    "StreamError",
+    "StreamState",
+    "WindowUpdateFrame",
+]

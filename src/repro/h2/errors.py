@@ -1,0 +1,46 @@
+"""HTTP/2 error codes and exceptions (RFC 7540 §7)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class H2ErrorCode(enum.IntEnum):
+    """Error codes carried by RST_STREAM and GOAWAY frames."""
+
+    NO_ERROR = 0x0
+    PROTOCOL_ERROR = 0x1
+    INTERNAL_ERROR = 0x2
+    FLOW_CONTROL_ERROR = 0x3
+    SETTINGS_TIMEOUT = 0x4
+    STREAM_CLOSED = 0x5
+    FRAME_SIZE_ERROR = 0x6
+    REFUSED_STREAM = 0x7
+    CANCEL = 0x8
+    COMPRESSION_ERROR = 0x9
+    CONNECT_ERROR = 0xA
+    ENHANCE_YOUR_CALM = 0xB
+    INADEQUATE_SECURITY = 0xC
+    HTTP_1_1_REQUIRED = 0xD
+
+
+class H2Error(Exception):
+    """Base class for HTTP/2 protocol failures."""
+
+    def __init__(self, code: H2ErrorCode, message: str = "") -> None:
+        super().__init__(message or code.name)
+        self.code = code
+
+
+class ProtocolError(H2Error):
+    """Connection-level error: the whole connection must die."""
+
+
+class StreamError(H2Error):
+    """Stream-level error: only the offending stream is reset."""
+
+    def __init__(
+        self, code: H2ErrorCode, stream_id: int, message: str = ""
+    ) -> None:
+        super().__init__(code, message)
+        self.stream_id = stream_id

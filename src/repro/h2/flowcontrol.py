@@ -1,0 +1,66 @@
+"""HTTP/2 flow control windows (RFC 7540 §5.2, §6.9)."""
+
+from __future__ import annotations
+
+from repro.h2.errors import H2Error, H2ErrorCode
+from repro.h2.settings import MAX_WINDOW_SIZE
+
+
+class FlowControlWindow:
+    """One directional window (connection-level or per-stream).
+
+    The *send* side consumes credit when emitting DATA; the *receive*
+    side replenishes its peer by sending WINDOW_UPDATE frames.
+    """
+
+    def __init__(self, initial: int) -> None:
+        if not (0 <= initial <= MAX_WINDOW_SIZE):
+            raise ValueError(f"initial window {initial} out of range")
+        self._window = initial
+
+    @property
+    def available(self) -> int:
+        """Bytes that may currently be sent."""
+        return self._window
+
+    def consume(self, amount: int) -> None:
+        """Spend credit for ``amount`` payload bytes.
+
+        Raises:
+            H2Error: FLOW_CONTROL_ERROR when over-consuming.
+        """
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if amount > self._window:
+            raise H2Error(
+                H2ErrorCode.FLOW_CONTROL_ERROR,
+                f"consume {amount} with only {self._window} available",
+            )
+        self._window -= amount
+
+    def replenish(self, amount: int) -> None:
+        """Apply a WINDOW_UPDATE increment.
+
+        Raises:
+            H2Error: FLOW_CONTROL_ERROR when the window would exceed
+                2^31 - 1 (RFC 7540 §6.9.1).
+        """
+        if amount <= 0:
+            raise ValueError("increment must be positive")
+        if self._window + amount > MAX_WINDOW_SIZE:
+            raise H2Error(
+                H2ErrorCode.FLOW_CONTROL_ERROR,
+                "window overflow",
+            )
+        self._window += amount
+
+    def adjust_initial(self, delta: int) -> None:
+        """Apply a SETTINGS_INITIAL_WINDOW_SIZE change (may go negative
+        transiently per RFC 7540 §6.9.2 — we clamp at the negative bound
+        by raising, as our endpoints never shrink windows mid-stream)."""
+        self._window += delta
+        if self._window > MAX_WINDOW_SIZE:
+            raise H2Error(H2ErrorCode.FLOW_CONTROL_ERROR, "window overflow")
+
+    def __repr__(self) -> str:
+        return f"FlowControlWindow({self._window})"

@@ -1,0 +1,229 @@
+"""Multiplexing schedulers: how concurrent responses share the wire.
+
+The scheduler owns per-stream FIFO queues of outbound frames and
+decides, each time the connection can write, which stream's next frame
+goes out.  The choice *is* the multiplexing policy — and therefore the
+privacy mechanism the paper attacks:
+
+* :class:`RoundRobinScheduler` — interleave ready streams frame by
+  frame.  This is the behaviour of multi-threaded HTTP/2 servers the
+  paper targets (Figure 3), and the default.
+* :class:`FifoScheduler` — drain one stream completely before the next
+  (arrival order).  Produces HTTP/1.1-like serialized output; used as a
+  baseline and in ablations.
+* :class:`PriorityScheduler` — deficit-weighted selection driven by the
+  RFC 7540 priority tree; substrate for the paper's future-work defense
+  (randomized priorities, §VII).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, List, Optional, Protocol
+
+from repro.h2.frames import Frame
+from repro.h2.priority import PriorityTree
+
+
+def _always(frame: Frame) -> bool:
+    return True
+
+
+class MuxScheduler(Protocol):
+    """Scheduler interface used by the connection's write pump."""
+
+    def enqueue(self, stream_id: int, frame: Frame) -> None:
+        """Queue a frame for transmission on ``stream_id``'s FIFO."""
+
+    def next_frame(
+        self, eligible: Callable[[Frame], bool] = _always
+    ) -> Optional[Frame]:
+        """Pop the next transmittable frame whose head passes
+        ``eligible`` (flow-control gating), or None when nothing can
+        send."""
+
+    def flush_stream(self, stream_id: int) -> int:
+        """Discard all queued frames of a stream; returns frames dropped."""
+
+    @property
+    def pending_frames(self) -> int:
+        """Total frames queued across all streams."""
+
+
+class _QueueMixin:
+    """Shared per-stream queue bookkeeping."""
+
+    def __init__(self) -> None:
+        self._queues: "OrderedDict[int, Deque[Frame]]" = OrderedDict()
+        self._pending = 0
+
+    def enqueue(self, stream_id: int, frame: Frame) -> None:
+        queue = self._queues.get(stream_id)
+        if queue is None:
+            queue = deque()
+            self._queues[stream_id] = queue
+        queue.append(frame)
+        self._pending += 1
+
+    def flush_stream(self, stream_id: int) -> int:
+        queue = self._queues.pop(stream_id, None)
+        if queue is None:
+            return 0
+        dropped = len(queue)
+        self._pending -= dropped
+        return dropped
+
+    @property
+    def pending_frames(self) -> int:
+        return self._pending
+
+    @property
+    def ready_streams(self) -> List[int]:
+        return [sid for sid, queue in self._queues.items() if queue]
+
+    def _head(self, stream_id: int) -> Optional[Frame]:
+        queue = self._queues.get(stream_id)
+        if not queue:
+            return None
+        return queue[0]
+
+    def _pop_from(self, stream_id: int) -> Optional[Frame]:
+        queue = self._queues.get(stream_id)
+        if not queue:
+            return None
+        frame = queue.popleft()
+        self._pending -= 1
+        if not queue:
+            del self._queues[stream_id]
+        return frame
+
+
+class RoundRobinScheduler(_QueueMixin):
+    """Frame-by-frame interleaving across ready streams."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._rotation: Deque[int] = deque()
+
+    def enqueue(self, stream_id: int, frame: Frame) -> None:
+        newly_ready = stream_id not in self._queues or not self._queues[stream_id]
+        super().enqueue(stream_id, frame)
+        if newly_ready and stream_id not in self._rotation:
+            self._rotation.append(stream_id)
+
+    def next_frame(
+        self, eligible: Callable[[Frame], bool] = _always
+    ) -> Optional[Frame]:
+        for _ in range(len(self._rotation)):
+            stream_id = self._rotation[0]
+            head = self._head(stream_id)
+            if head is None:
+                self._rotation.popleft()
+                continue
+            if not eligible(head):
+                self._rotation.rotate(-1)
+                continue
+            frame = self._pop_from(stream_id)
+            self._rotation.rotate(-1)
+            if stream_id not in self._queues:
+                # Stream drained: drop it from the rotation.
+                try:
+                    self._rotation.remove(stream_id)
+                except ValueError:
+                    pass
+            return frame
+        return None
+
+    def flush_stream(self, stream_id: int) -> int:
+        dropped = super().flush_stream(stream_id)
+        try:
+            self._rotation.remove(stream_id)
+        except ValueError:
+            pass
+        return dropped
+
+
+class FifoScheduler(_QueueMixin):
+    """Serve streams to completion in arrival order (no interleaving).
+
+    Once a stream starts transmitting, the wire is *held* for it until
+    its END_STREAM frame goes out — even through momentary production
+    pauses — which is what makes the output HTTP/1.1-like.  Only a
+    flush (RST_STREAM) releases the wire early.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._active: Optional[int] = None
+
+    def next_frame(
+        self, eligible: Callable[[Frame], bool] = _always
+    ) -> Optional[Frame]:
+        if self._active is None:
+            for stream_id in self._queues:
+                if self._head(stream_id) is not None:
+                    self._active = stream_id
+                    break
+        if self._active is None:
+            return None
+        head = self._head(self._active)
+        if head is None or not eligible(head):
+            return None  # hold the wire for the active stream
+        frame = self._pop_from(self._active)
+        if getattr(frame, "end_stream", False):
+            self._active = None
+        return frame
+
+    def flush_stream(self, stream_id: int) -> int:
+        if self._active == stream_id:
+            self._active = None
+        return super().flush_stream(stream_id)
+
+
+class PriorityScheduler(_QueueMixin):
+    """Deficit-weighted selection following the priority tree.
+
+    Each ready stream accrues credit proportional to its tree-allocated
+    bandwidth share; the stream with the highest credit sends next and
+    pays its frame's size.
+    """
+
+    def __init__(self, tree: Optional[PriorityTree] = None) -> None:
+        super().__init__()
+        self.tree = tree or PriorityTree()
+        self._credits: Dict[int, float] = {}
+
+    def enqueue(self, stream_id: int, frame: Frame) -> None:
+        if stream_id not in self.tree:
+            self.tree.insert(stream_id)
+        super().enqueue(stream_id, frame)
+        self._credits.setdefault(stream_id, 0.0)
+
+    def next_frame(
+        self, eligible: Callable[[Frame], bool] = _always
+    ) -> Optional[Frame]:
+        ready = {
+            sid
+            for sid in self.ready_streams
+            if self._head(sid) is not None and eligible(self._head(sid))
+        }
+        if not ready:
+            return None
+        shares = dict(self.tree.allocate(ready))
+        quantum = 16384.0
+        for stream_id in ready:
+            self._credits[stream_id] = (
+                self._credits.get(stream_id, 0.0)
+                + shares.get(stream_id, 0.0) * quantum
+            )
+        chosen = max(ready, key=lambda sid: (self._credits.get(sid, 0.0), -sid))
+        frame = self._pop_from(chosen)
+        if frame is not None:
+            self._credits[chosen] -= frame.wire_length
+            if chosen not in self._queues:
+                self._credits.pop(chosen, None)
+        return frame
+
+    def flush_stream(self, stream_id: int) -> int:
+        self._credits.pop(stream_id, None)
+        return super().flush_stream(stream_id)

@@ -1,0 +1,164 @@
+"""HTTP/2 stream priority tree (RFC 7540 §5.3).
+
+Streams depend on other streams (or the virtual root, stream 0) with a
+weight in 1..256.  The tree answers one question for the scheduler:
+given the set of streams with queued data, how should the next chunk of
+bandwidth be shared?  We implement the standard top-down allocation:
+among ready sibling subtrees, bandwidth is proportional to weight, and
+a parent starves its children only while the parent itself has data.
+
+The future-work defense in the paper (§VII) randomizes these priorities
+per page load; :mod:`repro.core.defenses` builds on this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class _Node:
+    stream_id: int
+    parent: Optional["_Node"] = None
+    weight: int = 16
+    children: List["_Node"] = field(default_factory=list)
+
+
+class PriorityTree:
+    """Dependency/weight bookkeeping plus weighted stream selection."""
+
+    def __init__(self) -> None:
+        self._root = _Node(stream_id=0, weight=256)
+        self._nodes: Dict[int, _Node] = {0: self._root}
+
+    def __contains__(self, stream_id: int) -> bool:
+        return stream_id in self._nodes
+
+    def insert(
+        self,
+        stream_id: int,
+        depends_on: int = 0,
+        weight: int = 16,
+        exclusive: bool = False,
+    ) -> None:
+        """Add a stream (idempotent; re-inserting reprioritizes).
+
+        A self-dependency is a protocol error (RFC 7540 §5.3.1); the
+        tree treats it gracefully as a dependency on the root.
+        """
+        if stream_id == 0:
+            raise ValueError("stream 0 is the root and cannot be inserted")
+        if depends_on == stream_id:
+            depends_on = 0
+        if stream_id in self._nodes:
+            self.reprioritize(stream_id, depends_on, weight, exclusive)
+            return
+        parent = self._nodes.get(depends_on, self._root)
+        node = _Node(stream_id=stream_id, parent=parent, weight=weight)
+        if exclusive:
+            node.children = parent.children
+            for child in node.children:
+                child.parent = node
+            parent.children = []
+        parent.children.append(node)
+        self._nodes[stream_id] = node
+
+    def reprioritize(
+        self,
+        stream_id: int,
+        depends_on: int,
+        weight: int,
+        exclusive: bool = False,
+    ) -> None:
+        """Apply a PRIORITY frame to an existing stream.
+
+        A self-dependency falls back to the root (see :meth:`insert`).
+        """
+        if depends_on == stream_id:
+            depends_on = 0
+        node = self._nodes.get(stream_id)
+        if node is None:
+            self.insert(stream_id, depends_on, weight, exclusive)
+            return
+        new_parent = self._nodes.get(depends_on, self._root)
+        # RFC 7540 §5.3.3: a dependency on one's own descendant first
+        # moves that descendant to the old parent.
+        if self._is_descendant(new_parent, node):
+            self._detach(new_parent)
+            assert node.parent is not None
+            new_parent.parent = node.parent
+            node.parent.children.append(new_parent)
+        self._detach(node)
+        node.weight = weight
+        node.parent = new_parent
+        if exclusive:
+            node.children.extend(new_parent.children)
+            for child in new_parent.children:
+                child.parent = node
+            new_parent.children = []
+        new_parent.children.append(node)
+
+    def remove(self, stream_id: int) -> None:
+        """Drop a closed stream; children are re-parented upward."""
+        node = self._nodes.pop(stream_id, None)
+        if node is None:
+            return
+        parent = node.parent or self._root
+        for child in node.children:
+            child.parent = parent
+            parent.children.append(child)
+        self._detach(node)
+
+    def weight_of(self, stream_id: int) -> int:
+        node = self._nodes.get(stream_id)
+        return node.weight if node else 16
+
+    def parent_of(self, stream_id: int) -> Optional[int]:
+        node = self._nodes.get(stream_id)
+        if node is None or node.parent is None:
+            return None
+        return node.parent.stream_id
+
+    def allocate(self, ready: Set[int]) -> List[float]:
+        """Proportional bandwidth shares for the ready streams.
+
+        Returns a list of ``(stream_id, share)`` pairs summing to 1.0
+        (empty when nothing is ready).  A stream blocks its descendants.
+        """
+        shares: List = []
+        self._allocate_node(self._root, 1.0, ready, shares)
+        return shares
+
+    def _allocate_node(
+        self, node: _Node, share: float, ready: Set[int], out: List
+    ) -> None:
+        if node.stream_id != 0 and node.stream_id in ready:
+            out.append((node.stream_id, share))
+            return
+        eligible = [
+            child for child in node.children
+            if self._subtree_has_ready(child, ready)
+        ]
+        total_weight = sum(child.weight for child in eligible)
+        for child in eligible:
+            self._allocate_node(
+                child, share * child.weight / total_weight, ready, out
+            )
+
+    def _subtree_has_ready(self, node: _Node, ready: Set[int]) -> bool:
+        if node.stream_id in ready:
+            return True
+        return any(self._subtree_has_ready(child, ready) for child in node.children)
+
+    def _detach(self, node: _Node) -> None:
+        if node.parent is not None and node in node.parent.children:
+            node.parent.children.remove(node)
+
+    def _is_descendant(self, node: _Node, ancestor: _Node) -> bool:
+        current = node.parent
+        while current is not None:
+            if current is ancestor:
+                return True
+            current = current.parent
+        return False

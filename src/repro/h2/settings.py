@@ -1,0 +1,80 @@
+"""HTTP/2 SETTINGS parameters (RFC 7540 §6.5.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+#: RFC identifiers for the settings, used in SETTINGS frame sizing.
+SETTINGS_HEADER_TABLE_SIZE = 0x1
+SETTINGS_ENABLE_PUSH = 0x2
+SETTINGS_MAX_CONCURRENT_STREAMS = 0x3
+SETTINGS_INITIAL_WINDOW_SIZE = 0x4
+SETTINGS_MAX_FRAME_SIZE = 0x5
+SETTINGS_MAX_HEADER_LIST_SIZE = 0x6
+
+#: Flow-control windows may not exceed 2^31 - 1.
+MAX_WINDOW_SIZE = (1 << 31) - 1
+
+
+@dataclass
+class H2Settings:
+    """One peer's settings.
+
+    Defaults follow RFC 7540; browser-like profiles override
+    ``initial_window_size`` upward so that transport (TCP) rather than
+    HTTP/2 flow control governs throughput — which is how Firefox, the
+    paper's client, behaves (12 MiB windows).
+    """
+
+    header_table_size: int = 4096
+    enable_push: bool = True
+    max_concurrent_streams: int = 100
+    initial_window_size: int = 65535
+    max_frame_size: int = 16384
+    max_header_list_size: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if not (0 < self.initial_window_size <= MAX_WINDOW_SIZE):
+            raise ValueError("initial window size out of range")
+        if not (16384 <= self.max_frame_size <= (1 << 24) - 1):
+            raise ValueError("max frame size out of range")
+        if self.max_concurrent_streams < 1:
+            raise ValueError("max concurrent streams must be >= 1")
+
+    def changed_from(self, other: "H2Settings") -> Dict[int, int]:
+        """Settings ids+values differing from ``other`` (for frame sizing)."""
+        diff: Dict[int, int] = {}
+        pairs = [
+            (SETTINGS_HEADER_TABLE_SIZE, self.header_table_size,
+             other.header_table_size),
+            (SETTINGS_ENABLE_PUSH, int(self.enable_push), int(other.enable_push)),
+            (SETTINGS_MAX_CONCURRENT_STREAMS, self.max_concurrent_streams,
+             other.max_concurrent_streams),
+            (SETTINGS_INITIAL_WINDOW_SIZE, self.initial_window_size,
+             other.initial_window_size),
+            (SETTINGS_MAX_FRAME_SIZE, self.max_frame_size, other.max_frame_size),
+            (SETTINGS_MAX_HEADER_LIST_SIZE, self.max_header_list_size,
+             other.max_header_list_size),
+        ]
+        for setting_id, mine, theirs in pairs:
+            if mine != theirs:
+                diff[setting_id] = mine
+        return diff
+
+
+def firefox_like_settings() -> H2Settings:
+    """The client profile the paper used (Firefox): huge windows, no push
+    restrictions, default frame size."""
+    return H2Settings(
+        initial_window_size=12 * 1024 * 1024,
+        max_concurrent_streams=256,
+    )
+
+
+def default_server_settings() -> H2Settings:
+    """A typical production server profile."""
+    return H2Settings(
+        max_concurrent_streams=128,
+        initial_window_size=1024 * 1024,
+    )

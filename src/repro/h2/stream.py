@@ -1,0 +1,144 @@
+"""The HTTP/2 stream state machine (RFC 7540 §5.1)."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.h2.errors import H2ErrorCode, StreamError
+from repro.h2.flowcontrol import FlowControlWindow
+
+
+class StreamState(enum.Enum):
+    IDLE = "idle"
+    RESERVED_LOCAL = "reserved_local"
+    RESERVED_REMOTE = "reserved_remote"
+    OPEN = "open"
+    HALF_CLOSED_LOCAL = "half_closed_local"
+    HALF_CLOSED_REMOTE = "half_closed_remote"
+    CLOSED = "closed"
+
+
+class H2Stream:
+    """One stream's lifecycle and flow-control state.
+
+    The connection drives transitions by reporting frame events; the
+    stream validates them and tracks both directional windows.
+    """
+
+    def __init__(
+        self,
+        stream_id: int,
+        send_window: int,
+        receive_window: int,
+    ) -> None:
+        if stream_id <= 0:
+            raise ValueError("stream ids are positive")
+        self.stream_id = stream_id
+        self.state = StreamState.IDLE
+        self.send_window = FlowControlWindow(send_window)
+        self.receive_window = FlowControlWindow(receive_window)
+        self.reset_code: Optional[H2ErrorCode] = None
+        #: Bytes of DATA payload sent/received, for accounting.
+        self.data_sent = 0
+        self.data_received = 0
+
+    # -- Transitions -----------------------------------------------------
+
+    def send_headers(self, end_stream: bool) -> None:
+        if self.state is StreamState.IDLE:
+            self.state = StreamState.OPEN
+        elif self.state is StreamState.RESERVED_LOCAL:
+            self.state = StreamState.HALF_CLOSED_REMOTE
+        elif self.state not in (StreamState.OPEN, StreamState.HALF_CLOSED_REMOTE):
+            raise StreamError(
+                H2ErrorCode.PROTOCOL_ERROR,
+                self.stream_id,
+                f"HEADERS sent in state {self.state}",
+            )
+        if end_stream:
+            self._close_local()
+
+    def receive_headers(self, end_stream: bool) -> None:
+        if self.state is StreamState.IDLE:
+            self.state = StreamState.OPEN
+        elif self.state is StreamState.RESERVED_REMOTE:
+            self.state = StreamState.HALF_CLOSED_LOCAL
+        elif self.state not in (StreamState.OPEN, StreamState.HALF_CLOSED_LOCAL):
+            raise StreamError(
+                H2ErrorCode.STREAM_CLOSED,
+                self.stream_id,
+                f"HEADERS received in state {self.state}",
+            )
+        if end_stream:
+            self._close_remote()
+
+    def send_data(self, payload_bytes: int, end_stream: bool) -> None:
+        if self.state not in (StreamState.OPEN, StreamState.HALF_CLOSED_REMOTE):
+            raise StreamError(
+                H2ErrorCode.STREAM_CLOSED,
+                self.stream_id,
+                f"DATA sent in state {self.state}",
+            )
+        self.send_window.consume(payload_bytes)
+        self.data_sent += payload_bytes
+        if end_stream:
+            self._close_local()
+
+    def receive_data(self, payload_bytes: int, end_stream: bool) -> None:
+        if self.state not in (StreamState.OPEN, StreamState.HALF_CLOSED_LOCAL):
+            raise StreamError(
+                H2ErrorCode.STREAM_CLOSED,
+                self.stream_id,
+                f"DATA received in state {self.state}",
+            )
+        self.receive_window.consume(payload_bytes)
+        self.data_received += payload_bytes
+        if end_stream:
+            self._close_remote()
+
+    def reset(self, code: H2ErrorCode) -> None:
+        """RST_STREAM (sent or received): the stream dies immediately."""
+        self.state = StreamState.CLOSED
+        self.reset_code = code
+
+    def reserve_local(self) -> None:
+        """PUSH_PROMISE sent referencing this stream as promised."""
+        if self.state is not StreamState.IDLE:
+            raise StreamError(
+                H2ErrorCode.PROTOCOL_ERROR, self.stream_id, "reserve non-idle"
+            )
+        self.state = StreamState.RESERVED_LOCAL
+
+    def reserve_remote(self) -> None:
+        """PUSH_PROMISE received promising this stream."""
+        if self.state is not StreamState.IDLE:
+            raise StreamError(
+                H2ErrorCode.PROTOCOL_ERROR, self.stream_id, "reserve non-idle"
+            )
+        self.state = StreamState.RESERVED_REMOTE
+
+    # -- Internals -------------------------------------------------------
+
+    def _close_local(self) -> None:
+        if self.state is StreamState.OPEN:
+            self.state = StreamState.HALF_CLOSED_LOCAL
+        else:
+            self.state = StreamState.CLOSED
+
+    def _close_remote(self) -> None:
+        if self.state is StreamState.OPEN:
+            self.state = StreamState.HALF_CLOSED_REMOTE
+        else:
+            self.state = StreamState.CLOSED
+
+    @property
+    def closed(self) -> bool:
+        return self.state is StreamState.CLOSED
+
+    @property
+    def was_reset(self) -> bool:
+        return self.reset_code is not None
+
+    def __repr__(self) -> str:
+        return f"H2Stream(#{self.stream_id}, {self.state.value})"

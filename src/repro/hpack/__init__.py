@@ -1,0 +1,24 @@
+"""HPACK header compression (RFC 7541), as an exact *size* model.
+
+HTTP/2 headers travel HPACK-compressed; the adversary never reads them,
+but their compressed size contributes to the HEADERS frames the
+estimator sees on the wire, so request and response header sizes must
+be realistic.  This package implements the full static table, a dynamic
+table with correct size accounting, prefix-integer sizing and the real
+Huffman code lengths from RFC 7541 Appendix B — everything needed to
+compute the exact octet count an HPACK encoder would emit, without
+materializing the bytes.
+"""
+
+from repro.hpack.codec import HpackDecoder, HpackEncoder
+from repro.hpack.huffman import huffman_encoded_length
+from repro.hpack.table import DynamicTable, HeaderField, STATIC_TABLE
+
+__all__ = [
+    "DynamicTable",
+    "HeaderField",
+    "HpackDecoder",
+    "HpackEncoder",
+    "STATIC_TABLE",
+    "huffman_encoded_length",
+]

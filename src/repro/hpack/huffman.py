@@ -1,0 +1,56 @@
+"""Huffman string sizing (RFC 7541 Appendix B).
+
+HPACK string literals may be Huffman coded; encoders use the coding
+whenever it shrinks the string.  We only ever need the encoded *length*,
+which is fully determined by the per-symbol code lengths below.
+"""
+
+from __future__ import annotations
+
+# Code length in bits for each printable ASCII symbol (RFC 7541 App. B).
+_PRINTABLE_CODE_BITS = {
+    " ": 6, "!": 10, '"': 10, "#": 12, "$": 13, "%": 6, "&": 8, "'": 11,
+    "(": 10, ")": 10, "*": 8, "+": 11, ",": 8, "-": 6, ".": 6, "/": 6,
+    "0": 5, "1": 5, "2": 5, "3": 6, "4": 6, "5": 6, "6": 6, "7": 6,
+    "8": 6, "9": 6, ":": 7, ";": 8, "<": 15, "=": 6, ">": 12, "?": 10,
+    "@": 13, "A": 6, "B": 7, "C": 7, "D": 7, "E": 7, "F": 7, "G": 7,
+    "H": 7, "I": 7, "J": 7, "K": 7, "L": 7, "M": 7, "N": 7, "O": 7,
+    "P": 7, "Q": 7, "R": 7, "S": 7, "T": 7, "U": 7, "V": 7, "W": 7,
+    "X": 8, "Y": 8, "Z": 8, "[": 13, "\\": 19, "]": 13, "^": 14, "_": 6,
+    "`": 15, "a": 5, "b": 6, "c": 5, "d": 6, "e": 5, "f": 6, "g": 6,
+    "h": 6, "i": 5, "j": 7, "k": 7, "l": 6, "m": 6, "n": 6, "o": 5,
+    "p": 6, "q": 7, "r": 6, "s": 5, "t": 5, "u": 6, "v": 7, "w": 7,
+    "x": 7, "y": 7, "z": 8, "{": 15, "|": 11, "}": 14, "~": 13,
+}
+
+#: Bits used for symbols outside the printable range (RFC codes there
+#: run 20–30 bits; 28 is a representative midpoint of the common ones).
+_NON_PRINTABLE_CODE_BITS = 28
+
+
+def symbol_code_bits(char: str) -> int:
+    """Huffman code length in bits for one character."""
+    if len(char) != 1:
+        raise ValueError("expected a single character")
+    return _PRINTABLE_CODE_BITS.get(char, _NON_PRINTABLE_CODE_BITS)
+
+
+def huffman_encoded_length(text: str) -> int:
+    """Octets the Huffman coding of ``text`` occupies (EOS-padded)."""
+    bits = sum(symbol_code_bits(char) for char in text)
+    return (bits + 7) // 8
+
+
+def string_literal_length(text: str) -> int:
+    """Octets an HPACK encoder emits for ``text`` as a string literal.
+
+    The encoder picks Huffman coding when it is shorter than the raw
+    octets; either way a length prefix (7-bit prefix integer) precedes
+    the data.
+    """
+    from repro.hpack.codec import prefix_integer_length
+
+    raw = len(text)
+    huffman = huffman_encoded_length(text)
+    body = min(raw, huffman)
+    return prefix_integer_length(body, 7) + body

@@ -1,0 +1,180 @@
+"""HPACK indexing tables (RFC 7541 §2.3).
+
+The static table is the fixed 61-entry list from Appendix A.  The
+dynamic table is a FIFO with the RFC's size accounting: each entry
+costs ``len(name) + len(value) + 32`` octets against the negotiated
+``SETTINGS_HEADER_TABLE_SIZE``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class HeaderField:
+    """One header name/value pair."""
+
+    name: str
+    value: str = ""
+
+    @property
+    def table_size(self) -> int:
+        """RFC 7541 §4.1 entry size."""
+        return len(self.name) + len(self.value) + 32
+
+
+#: RFC 7541 Appendix A, in order (index 1 .. 61).
+STATIC_TABLE: Tuple[HeaderField, ...] = (
+    HeaderField(":authority"),
+    HeaderField(":method", "GET"),
+    HeaderField(":method", "POST"),
+    HeaderField(":path", "/"),
+    HeaderField(":path", "/index.html"),
+    HeaderField(":scheme", "http"),
+    HeaderField(":scheme", "https"),
+    HeaderField(":status", "200"),
+    HeaderField(":status", "204"),
+    HeaderField(":status", "206"),
+    HeaderField(":status", "304"),
+    HeaderField(":status", "400"),
+    HeaderField(":status", "404"),
+    HeaderField(":status", "500"),
+    HeaderField("accept-charset"),
+    HeaderField("accept-encoding", "gzip, deflate"),
+    HeaderField("accept-language"),
+    HeaderField("accept-ranges"),
+    HeaderField("accept"),
+    HeaderField("access-control-allow-origin"),
+    HeaderField("age"),
+    HeaderField("allow"),
+    HeaderField("authorization"),
+    HeaderField("cache-control"),
+    HeaderField("content-disposition"),
+    HeaderField("content-encoding"),
+    HeaderField("content-language"),
+    HeaderField("content-length"),
+    HeaderField("content-location"),
+    HeaderField("content-range"),
+    HeaderField("content-type"),
+    HeaderField("cookie"),
+    HeaderField("date"),
+    HeaderField("etag"),
+    HeaderField("expect"),
+    HeaderField("expires"),
+    HeaderField("from"),
+    HeaderField("host"),
+    HeaderField("if-match"),
+    HeaderField("if-modified-since"),
+    HeaderField("if-none-match"),
+    HeaderField("if-range"),
+    HeaderField("if-unmodified-since"),
+    HeaderField("last-modified"),
+    HeaderField("link"),
+    HeaderField("location"),
+    HeaderField("max-forwards"),
+    HeaderField("proxy-authenticate"),
+    HeaderField("proxy-authorization"),
+    HeaderField("range"),
+    HeaderField("referer"),
+    HeaderField("refresh"),
+    HeaderField("retry-after"),
+    HeaderField("server"),
+    HeaderField("set-cookie"),
+    HeaderField("strict-transport-security"),
+    HeaderField("transfer-encoding"),
+    HeaderField("user-agent"),
+    HeaderField("vary"),
+    HeaderField("via"),
+    HeaderField("www-authenticate"),
+)
+
+
+class DynamicTable:
+    """The HPACK dynamic table: FIFO eviction, size-bounded."""
+
+    def __init__(self, max_size: int = 4096) -> None:
+        if max_size < 0:
+            raise ValueError("max size must be non-negative")
+        self._entries: Deque[HeaderField] = deque()
+        self._size = 0
+        self._max_size = max_size
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def size(self) -> int:
+        """Current occupancy in RFC accounting octets."""
+        return self._size
+
+    @property
+    def max_size(self) -> int:
+        return self._max_size
+
+    def resize(self, max_size: int) -> None:
+        """Apply a table-size update, evicting as needed."""
+        if max_size < 0:
+            raise ValueError("max size must be non-negative")
+        self._max_size = max_size
+        self._evict()
+
+    def insert(self, field: HeaderField) -> None:
+        """Insert at index 1 (the newest position), evicting old entries.
+
+        An entry larger than the whole table empties the table and is
+        itself not inserted (RFC 7541 §4.4).
+        """
+        if field.table_size > self._max_size:
+            self._entries.clear()
+            self._size = 0
+            return
+        self._entries.appendleft(field)
+        self._size += field.table_size
+        self._evict()
+
+    def _evict(self) -> None:
+        while self._size > self._max_size:
+            evicted = self._entries.pop()
+            self._size -= evicted.table_size
+
+    def lookup(self, field: HeaderField) -> Tuple[Optional[int], Optional[int]]:
+        """Find ``field`` across static + dynamic tables.
+
+        Returns:
+            ``(full_index, name_index)``: the 1-based index of an exact
+            name+value match (or None), and the index of a name-only
+            match (or None).  Dynamic indices start at 62.
+        """
+        name_index: Optional[int] = None
+        for index, entry in enumerate(STATIC_TABLE, start=1):
+            if entry.name == field.name:
+                if entry.value == field.value:
+                    return index, index
+                if name_index is None:
+                    name_index = index
+        offset = len(STATIC_TABLE) + 1
+        for index, entry in enumerate(self._entries):
+            if entry.name == field.name:
+                if entry.value == field.value:
+                    return offset + index, offset + index
+                if name_index is None:
+                    name_index = offset + index
+        return None, name_index
+
+    def entry_at(self, index: int) -> HeaderField:
+        """Resolve a 1-based HPACK index to its header field.
+
+        Raises:
+            IndexError: for indices outside both tables.
+        """
+        if index < 1:
+            raise IndexError(f"invalid HPACK index {index}")
+        if index <= len(STATIC_TABLE):
+            return STATIC_TABLE[index - 1]
+        dynamic_index = index - len(STATIC_TABLE) - 1
+        if dynamic_index >= len(self._entries):
+            raise IndexError(f"HPACK index {index} beyond dynamic table")
+        return self._entries[dynamic_index]

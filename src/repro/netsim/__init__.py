@@ -1,0 +1,46 @@
+"""Network simulation substrate.
+
+Models the wire between the client and the server: full-duplex links
+with propagation delay, optional jitter, finite bandwidth (serialization
+delay plus a drop-tail queue) and random loss; hosts that bind protocol
+stacks; and — central to the paper — a programmable on-path
+**middlebox** with a packet-capture tap and a filter pipeline that the
+adversary uses to delay, throttle and drop traffic.
+"""
+
+from repro.netsim.address import Endpoint
+from repro.netsim.capture import CaptureLog, Direction, PacketRecord
+from repro.netsim.link import Link, LinkConfig, LinkEnd
+from repro.netsim.middlebox import (
+    Middlebox,
+    PacketAction,
+    PacketFilter,
+    Verdict,
+)
+from repro.netsim.node import Host, PacketHandler
+from repro.netsim.packet import IP_HEADER_BYTES, TCP_HEADER_BYTES, Packet
+from repro.netsim.queue import DropTailQueue, TokenBucket
+from repro.netsim.topology import PathTopology, build_adversary_path
+
+__all__ = [
+    "CaptureLog",
+    "Direction",
+    "DropTailQueue",
+    "Endpoint",
+    "Host",
+    "IP_HEADER_BYTES",
+    "Link",
+    "LinkConfig",
+    "LinkEnd",
+    "Middlebox",
+    "Packet",
+    "PacketAction",
+    "PacketFilter",
+    "PacketHandler",
+    "PacketRecord",
+    "PathTopology",
+    "TCP_HEADER_BYTES",
+    "TokenBucket",
+    "Verdict",
+    "build_adversary_path",
+]

@@ -1,0 +1,27 @@
+"""Endpoint addressing.
+
+A simulated endpoint is a ``(host_name, port)`` pair — enough to route
+within the three-node topologies the paper uses (client, gateway
+middlebox, server) and to label packet captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """A network endpoint: host name plus port number."""
+
+    host: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not (0 < self.port < 65536):
+            raise ValueError(f"port out of range: {self.port}")
+        if not self.host:
+            raise ValueError("host name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"

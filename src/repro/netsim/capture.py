@@ -1,0 +1,147 @@
+"""Packet capture at the middlebox — the adversary's eyes.
+
+Mirrors what the paper's gateway saw with tshark: for every transiting
+packet, its timestamp, direction, wire size, the *unencrypted* TCP
+header fields, and the TLS record content types (also sent in the
+clear).  Payload plaintext is never exposed; the estimator works purely
+from these records, like the paper's
+``ssl.record.content_type==23`` display filter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.netsim.packet import Packet
+
+
+class Direction(enum.Enum):
+    """Which way a packet was travelling through the middlebox."""
+
+    CLIENT_TO_SERVER = "c2s"
+    SERVER_TO_CLIENT = "s2c"
+
+    def opposite(self) -> "Direction":
+        if self is Direction.CLIENT_TO_SERVER:
+            return Direction.SERVER_TO_CLIENT
+        return Direction.CLIENT_TO_SERVER
+
+
+def _segment_field(segment: Any, name: str, default: Any) -> Any:
+    return getattr(segment, name, default) if segment is not None else default
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One captured packet, as visible to an on-path observer."""
+
+    time: float
+    direction: Direction
+    packet_id: int
+    wire_size: int
+    payload_bytes: int
+    flags: Tuple[str, ...]
+    seq: int
+    ack: int
+    tls_content_types: Tuple[int, ...]
+    dropped_by_adversary: bool = False
+
+    @property
+    def is_application_data(self) -> bool:
+        """True when the packet carries TLS application data (type 23)."""
+        return 23 in self.tls_content_types
+
+    @property
+    def is_application_stream(self) -> bool:
+        """True for packets belonging to the application-data stream.
+
+        A TLS record spans multiple TCP segments; only the first
+        carries the (cleartext) record header.  Continuation packets
+        expose no content type, but an observer summing a burst's bytes
+        must include them: any non-empty packet that does not start a
+        *non*-application record counts.
+        """
+        if self.payload_bytes <= 0:
+            return False
+        return all(ct == 23 for ct in self.tls_content_types)
+
+    @classmethod
+    def from_packet(
+        cls,
+        time: float,
+        direction: Direction,
+        packet: Packet,
+        dropped: bool = False,
+    ) -> "PacketRecord":
+        """Build a record from a live packet (headers only)."""
+        segment = packet.segment
+        records = _segment_field(segment, "tls_records", ()) or ()
+        content_types = tuple(
+            int(getattr(rec, "content_type", 0)) for rec in records
+        )
+        return cls(
+            time=time,
+            direction=direction,
+            packet_id=packet.packet_id,
+            wire_size=packet.wire_size,
+            payload_bytes=packet.payload_bytes,
+            flags=tuple(sorted(_segment_field(segment, "flags", ()) or ())),
+            seq=int(_segment_field(segment, "seq", 0)),
+            ack=int(_segment_field(segment, "ack", 0)),
+            tls_content_types=content_types,
+            dropped_by_adversary=dropped,
+        )
+
+
+class CaptureLog:
+    """An append-only list of :class:`PacketRecord` with query helpers."""
+
+    def __init__(self) -> None:
+        self._records: List[PacketRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        return self._records[index]
+
+    def append(self, record: PacketRecord) -> None:
+        self._records.append(record)
+
+    def in_direction(
+        self, direction: Direction, include_dropped: bool = False
+    ) -> List[PacketRecord]:
+        """Records for one direction, excluding adversary-dropped packets
+        by default (they never reached the far side)."""
+        return [
+            record
+            for record in self._records
+            if record.direction is direction
+            and (include_dropped or not record.dropped_by_adversary)
+        ]
+
+    def application_data(
+        self, direction: Optional[Direction] = None
+    ) -> List[PacketRecord]:
+        """TLS application-data records (the ``content_type==23`` filter)."""
+        return [
+            record
+            for record in self._records
+            if record.is_application_data
+            and not record.dropped_by_adversary
+            and (direction is None or record.direction is direction)
+        ]
+
+    def since(self, time: float) -> "CaptureLog":
+        """A new log holding only records at or after ``time``."""
+        clipped = CaptureLog()
+        clipped._records = [r for r in self._records if r.time >= time]
+        return clipped
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,183 @@
+"""Full-duplex point-to-point links.
+
+Each direction has its own serialization pipeline: packets queue in a
+drop-tail transmit buffer, are clocked out at the link rate, then
+experience propagation delay plus (optionally) random jitter and random
+loss.  Delivery order is FIFO per direction unless ``reorder_allowed``
+is set — real networks reorder under jitter, but the paper's adversary
+injects its jitter at the middlebox, so links default to in-order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netsim.packet import Packet
+from repro.simkernel.randomstream import RandomStreams
+from repro.simkernel.simulator import Simulator
+from repro.simkernel.trace import TraceLog
+from repro.simkernel.units import MBPS, transmission_delay
+
+
+@dataclass
+class LinkConfig:
+    """Static parameters of one link.
+
+    Attributes:
+        bandwidth_bps: link rate in bits per second.
+        propagation_delay: one-way latency in seconds.
+        jitter: maximum extra random delay per packet, in seconds
+            (uniform in ``[0, jitter]``); 0 disables jitter.
+        loss_rate: independent per-packet drop probability in ``[0, 1)``.
+        queue_capacity: transmit buffer size in packets.
+    """
+
+    bandwidth_bps: float = 1000 * MBPS
+    propagation_delay: float = 0.005
+    jitter: float = 0.0
+    loss_rate: float = 0.0
+    queue_capacity: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.propagation_delay < 0:
+            raise ValueError("propagation delay must be non-negative")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ValueError("loss rate must be in [0, 1)")
+
+
+class LinkEnd:
+    """One end of a link; nodes hold this and call :meth:`send`."""
+
+    def __init__(self, link: "Link", index: int) -> None:
+        self._link = link
+        self._index = index
+        self.handler = None  # PacketHandler, attached by the node
+
+    def attach(self, handler) -> None:
+        """Bind the node (or middlebox) that receives from this end."""
+        self.handler = handler
+
+    def send(self, packet: Packet) -> None:
+        """Transmit ``packet`` toward the opposite end."""
+        self._link._transmit(packet, from_index=self._index)
+
+    @property
+    def link(self) -> "Link":
+        return self._link
+
+
+class _DirectionState:
+    """Per-direction serialization state."""
+
+    __slots__ = ("busy_until", "last_arrival", "queued", "sent", "dropped")
+
+    def __init__(self) -> None:
+        self.busy_until = 0.0
+        self.last_arrival = 0.0
+        self.queued = 0
+        self.sent = 0
+        self.dropped = 0
+
+
+class Link:
+    """A bidirectional link between two :class:`LinkEnd` holders."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: LinkConfig,
+        rng: Optional[RandomStreams] = None,
+        trace: Optional[TraceLog] = None,
+        name: str = "link",
+        reorder_allowed: bool = False,
+    ) -> None:
+        self._sim = sim
+        self.config = config
+        self._rng = rng
+        self._trace = trace
+        self.name = name
+        self.reorder_allowed = reorder_allowed
+        self.a = LinkEnd(self, 0)
+        self.b = LinkEnd(self, 1)
+        self._directions = (_DirectionState(), _DirectionState())
+
+    def _jitter_draw(self) -> float:
+        if self.config.jitter <= 0 or self._rng is None:
+            return 0.0
+        return self._rng.uniform(f"{self.name}.jitter", 0.0, self.config.jitter)
+
+    def _loss_draw(self) -> bool:
+        if self.config.loss_rate <= 0 or self._rng is None:
+            return False
+        return (
+            self._rng.stream(f"{self.name}.loss").random() < self.config.loss_rate
+        )
+
+    def _transmit(self, packet: Packet, from_index: int) -> None:
+        direction = self._directions[from_index]
+        now = self._sim.now
+
+        # Transmit-buffer occupancy model: packets whose serialization
+        # has not started yet count against the queue capacity.
+        backlog_time = max(0.0, direction.busy_until - now)
+        serialization = transmission_delay(packet.wire_size, self.config.bandwidth_bps)
+        backlog_packets = (
+            int(backlog_time / serialization) if serialization > 0 else 0
+        )
+        if backlog_packets >= self.config.queue_capacity:
+            direction.dropped += 1
+            self._record("link.drop.queue", packet, from_index)
+            return
+
+        if self._loss_draw():
+            direction.dropped += 1
+            self._record("link.drop.loss", packet, from_index)
+            return
+
+        start = max(now, direction.busy_until)
+        direction.busy_until = start + serialization
+        arrival = direction.busy_until + self.config.propagation_delay + self._jitter_draw()
+        if not self.reorder_allowed and arrival < direction.last_arrival:
+            arrival = direction.last_arrival
+        direction.last_arrival = arrival
+        direction.sent += 1
+
+        to_end = self.b if from_index == 0 else self.a
+        self._sim.schedule_at(arrival, lambda: self._deliver(to_end, packet))
+        self._record("link.send", packet, from_index, arrival=arrival)
+
+    def _deliver(self, end: LinkEnd, packet: Packet) -> None:
+        if end.handler is None:
+            raise RuntimeError(
+                f"link {self.name!r}: no handler attached at receiving end"
+            )
+        end.handler.on_packet(packet)
+
+    def _record(self, category: str, packet: Packet, from_index: int, **extra) -> None:
+        if self._trace is not None:
+            self._trace.record(
+                self._sim.now,
+                category,
+                link=self.name,
+                direction=from_index,
+                packet_id=packet.packet_id,
+                size=packet.wire_size,
+                **extra,
+            )
+
+    def stats(self, from_index: int) -> dict:
+        """Counters for one direction (0 = a→b, 1 = b→a)."""
+        direction = self._directions[from_index]
+        return {
+            "sent": direction.sent,
+            "dropped": direction.dropped,
+            "busy_until": direction.busy_until,
+        }
+
+    def __repr__(self) -> str:
+        return f"Link({self.name!r}, {self.config.bandwidth_bps / MBPS:.0f} Mbps)"

@@ -1,0 +1,219 @@
+"""The programmable on-path middlebox.
+
+This is the device the paper's adversary compromises (the lab gateway).
+It forwards packets between a client-side link and a server-side link,
+and exposes three actuation surfaces:
+
+* a **filter pipeline** per direction — filters inspect a packet and
+  return a verdict (forward / drop / delay by some amount), which is how
+  the adversary injects per-request jitter and targeted drops;
+* an optional **token-bucket throttle** applied to both directions,
+  matching the paper's bandwidth-limitation experiments; and
+* a **capture tap** recording every transiting packet for the traffic
+  monitor.
+
+Everything is retunable at simulated runtime; the attack state machine
+in :mod:`repro.core.adversary` drives these knobs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol
+
+from repro.netsim.capture import CaptureLog, Direction, PacketRecord
+from repro.netsim.link import LinkEnd
+from repro.netsim.packet import Packet
+from repro.netsim.queue import TokenBucket
+from repro.simkernel.simulator import Simulator
+from repro.simkernel.trace import TraceLog
+
+
+class PacketAction(enum.Enum):
+    """What a filter wants done with a packet."""
+
+    FORWARD = "forward"
+    DROP = "drop"
+    DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """A filter decision.  ``delay`` is only meaningful for DELAY."""
+
+    action: PacketAction
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action is PacketAction.DELAY and self.delay < 0:
+            raise ValueError("delay verdict must carry a non-negative delay")
+
+    @classmethod
+    def forward(cls) -> "Verdict":
+        return cls(PacketAction.FORWARD)
+
+    @classmethod
+    def drop(cls) -> "Verdict":
+        return cls(PacketAction.DROP)
+
+    @classmethod
+    def delayed(cls, seconds: float) -> "Verdict":
+        return cls(PacketAction.DELAY, seconds)
+
+
+class PacketFilter(Protocol):
+    """Adversary-installed per-packet decision logic."""
+
+    def classify(self, packet: Packet, direction: Direction, now: float) -> Verdict:
+        """Decide what to do with ``packet`` travelling in ``direction``."""
+
+
+class _IngressAdapter:
+    """Tags arriving packets with the direction they entered from."""
+
+    def __init__(self, middlebox: "Middlebox", direction: Direction) -> None:
+        self._middlebox = middlebox
+        self._direction = direction
+
+    def on_packet(self, packet: Packet) -> None:
+        self._middlebox._ingress(packet, self._direction)
+
+
+class Middlebox:
+    """Forwards between two links, applying adversary policy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "gateway",
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self._sim = sim
+        self.name = name
+        self._trace = trace
+        self.capture = CaptureLog()
+        self._filters: Dict[Direction, List[PacketFilter]] = {
+            Direction.CLIENT_TO_SERVER: [],
+            Direction.SERVER_TO_CLIENT: [],
+        }
+        self._throttle: Dict[Direction, Optional[TokenBucket]] = {
+            Direction.CLIENT_TO_SERVER: None,
+            Direction.SERVER_TO_CLIENT: None,
+        }
+        self._egress: Dict[Direction, Optional[LinkEnd]] = {
+            Direction.CLIENT_TO_SERVER: None,
+            Direction.SERVER_TO_CLIENT: None,
+        }
+        self.forwarded = 0
+        self.dropped = 0
+
+    # Wiring -------------------------------------------------------------
+
+    def attach_client_side(self, end: LinkEnd) -> None:
+        """Connect the link leading to the client."""
+        end.attach(_IngressAdapter(self, Direction.CLIENT_TO_SERVER))
+        self._egress[Direction.SERVER_TO_CLIENT] = end
+
+    def attach_server_side(self, end: LinkEnd) -> None:
+        """Connect the link leading to the server."""
+        end.attach(_IngressAdapter(self, Direction.SERVER_TO_CLIENT))
+        self._egress[Direction.CLIENT_TO_SERVER] = end
+
+    # Policy knobs ---------------------------------------------------------
+
+    def add_filter(self, direction: Direction, packet_filter: PacketFilter) -> None:
+        """Install a filter at the end of the pipeline for ``direction``."""
+        self._filters[direction].append(packet_filter)
+
+    def remove_filter(self, direction: Direction, packet_filter: PacketFilter) -> None:
+        """Remove a previously installed filter (ValueError if absent)."""
+        self._filters[direction].remove(packet_filter)
+
+    def clear_filters(self, direction: Optional[Direction] = None) -> None:
+        """Drop all filters, optionally only for one direction."""
+        directions = [direction] if direction else list(Direction)
+        for current in directions:
+            self._filters[current].clear()
+
+    def set_bandwidth_limit(
+        self, rate_bits_per_second: Optional[float], burst_bytes: int = 64 * 1024
+    ) -> None:
+        """Throttle both directions (the paper limits both), or lift the
+        limit entirely with ``None``."""
+        for direction in Direction:
+            if rate_bits_per_second is None:
+                self._throttle[direction] = None
+            else:
+                bucket = TokenBucket(rate_bits_per_second, burst_bytes)
+                bucket.consume_at(0, self._sim.now)  # sync refill clock
+                self._throttle[direction] = bucket
+
+    # Forwarding -----------------------------------------------------------
+
+    def _ingress(self, packet: Packet, direction: Direction) -> None:
+        now = self._sim.now
+        verdict = self._evaluate_filters(packet, direction, now)
+        dropped = verdict.action is PacketAction.DROP
+        self.capture.append(
+            PacketRecord.from_packet(now, direction, packet, dropped=dropped)
+        )
+        if dropped:
+            self.dropped += 1
+            self._record("middlebox.drop", packet, direction)
+            return
+        release_delay = verdict.delay if verdict.action is PacketAction.DELAY else 0.0
+        release_time = now + release_delay
+        bucket = self._throttle[direction]
+        if bucket is not None:
+            extra = bucket.delay_until_conformant(packet.wire_size, release_time)
+            bucket.consume_at(packet.wire_size, release_time + extra)
+            release_time += extra
+        self._sim.schedule_at(
+            release_time, lambda: self._forward(packet, direction)
+        )
+        if release_delay > 0:
+            self._record(
+                "middlebox.delay", packet, direction, delay=release_delay
+            )
+
+    def _evaluate_filters(
+        self, packet: Packet, direction: Direction, now: float
+    ) -> Verdict:
+        total_delay = 0.0
+        for packet_filter in self._filters[direction]:
+            verdict = packet_filter.classify(packet, direction, now)
+            if verdict.action is PacketAction.DROP:
+                return verdict
+            if verdict.action is PacketAction.DELAY:
+                total_delay += verdict.delay
+        if total_delay > 0:
+            return Verdict.delayed(total_delay)
+        return Verdict.forward()
+
+    def _forward(self, packet: Packet, direction: Direction) -> None:
+        egress = self._egress[direction]
+        if egress is None:
+            raise RuntimeError(
+                f"middlebox {self.name!r}: egress for {direction} not wired"
+            )
+        self.forwarded += 1
+        egress.send(packet)
+
+    def _record(self, category: str, packet: Packet, direction: Direction, **extra) -> None:
+        if self._trace is not None:
+            self._trace.record(
+                self._sim.now,
+                category,
+                middlebox=self.name,
+                direction=direction.value,
+                packet_id=packet.packet_id,
+                size=packet.wire_size,
+                **extra,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Middlebox({self.name!r}, forwarded={self.forwarded}, "
+            f"dropped={self.dropped})"
+        )

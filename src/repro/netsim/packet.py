@@ -1,0 +1,68 @@
+"""Packets on the simulated wire.
+
+A :class:`Packet` wraps one transport segment.  The wire size includes
+fixed IP and TCP header overheads so bandwidth and estimator arithmetic
+see realistic packet sizes.  The payload (``segment``) is opaque at this
+layer; the TCP module defines its structure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.netsim.address import Endpoint
+
+#: IPv4 header without options.
+IP_HEADER_BYTES = 20
+
+#: TCP header without options (the segment model adds option bytes).
+TCP_HEADER_BYTES = 20
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One IP packet carrying a transport segment.
+
+    Attributes:
+        src: source endpoint.
+        dst: destination endpoint.
+        segment: the transport payload (a ``repro.tcp.TCPSegment``).
+        packet_id: unique id, assigned automatically.
+        created_at: simulated time the packet was created (set by sender).
+    """
+
+    src: Endpoint
+    dst: Endpoint
+    segment: Any
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+
+    @property
+    def payload_bytes(self) -> int:
+        """Transport payload length in bytes (0 for bare ACKs)."""
+        if self.segment is None:
+            return 0
+        return int(getattr(self.segment, "payload_bytes", 0))
+
+    @property
+    def header_bytes(self) -> int:
+        """IP + TCP header overhead, including TCP option bytes."""
+        option_bytes = 0
+        if self.segment is not None:
+            option_bytes = int(getattr(self.segment, "option_bytes", 0))
+        return IP_HEADER_BYTES + TCP_HEADER_BYTES + option_bytes
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes this packet occupies on the wire."""
+        return self.header_bytes + self.payload_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(#{self.packet_id} {self.src}->{self.dst} "
+            f"{self.wire_size}B)"
+        )

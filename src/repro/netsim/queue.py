@@ -1,0 +1,119 @@
+"""Queueing primitives: drop-tail buffers and token buckets.
+
+The drop-tail queue models a link's transmit buffer (loss under
+congestion).  The token bucket implements the adversary's bandwidth
+throttle — the same abstraction ``tc``'s ``tbf`` qdisc provides on the
+paper's gateway.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Optional, TypeVar
+
+from repro.simkernel.units import bandwidth_to_bytes_per_second
+
+T = TypeVar("T")
+
+
+class DropTailQueue(Generic[T]):
+    """A bounded FIFO that drops arrivals when full."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._items: Deque[T] = deque()
+        self.capacity = capacity
+        self.drops = 0
+        self.enqueues = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def push(self, item: T) -> bool:
+        """Enqueue ``item``; returns False (and counts a drop) when full."""
+        if self.full:
+            self.drops += 1
+            return False
+        self._items.append(item)
+        self.enqueues += 1
+        return True
+
+    def pop(self) -> Optional[T]:
+        """Dequeue the oldest item, or None when empty."""
+        if not self._items:
+            return None
+        return self._items.popleft()
+
+    def clear(self) -> None:
+        self._items.clear()
+
+
+class TokenBucket:
+    """A byte-based token bucket rate limiter.
+
+    Tokens accrue continuously at ``rate_bits_per_second``; a packet of
+    ``n`` bytes conforms when at least ``n`` tokens are available.  When
+    it does not conform, :meth:`delay_until_conformant` reports how long
+    the holder must wait — the middlebox uses that to schedule delayed
+    forwarding rather than dropping.
+    """
+
+    def __init__(
+        self,
+        rate_bits_per_second: float,
+        burst_bytes: int = 64 * 1024,
+    ) -> None:
+        if burst_bytes <= 0:
+            raise ValueError(f"burst must be positive, got {burst_bytes}")
+        self._rate_bytes = bandwidth_to_bytes_per_second(rate_bits_per_second)
+        self._burst = float(burst_bytes)
+        self._tokens = float(burst_bytes)
+        self._last_update = 0.0
+
+    @property
+    def rate_bits_per_second(self) -> float:
+        return self._rate_bytes * 8.0
+
+    def set_rate(self, rate_bits_per_second: float, now: float) -> None:
+        """Retune the bucket rate mid-simulation (adversary knob)."""
+        self._refill(now)
+        self._rate_bytes = bandwidth_to_bytes_per_second(rate_bits_per_second)
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            self._tokens = min(self._burst, self._tokens + elapsed * self._rate_bytes)
+            self._last_update = now
+
+    def try_consume(self, size_bytes: int, now: float) -> bool:
+        """Consume ``size_bytes`` tokens if available."""
+        self._refill(now)
+        if self._tokens >= size_bytes:
+            self._tokens -= size_bytes
+            return True
+        return False
+
+    def delay_until_conformant(self, size_bytes: int, now: float) -> float:
+        """Seconds until a packet of ``size_bytes`` would conform.
+
+        Returns 0.0 when it conforms right now.  The caller is expected
+        to consume the tokens at the conformance time via
+        :meth:`consume_at`.
+        """
+        self._refill(now)
+        deficit = size_bytes - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self._rate_bytes
+
+    def consume_at(self, size_bytes: int, when: float) -> None:
+        """Unconditionally consume tokens at time ``when`` (may go negative
+        transiently when callers pre-reserved with
+        :meth:`delay_until_conformant`)."""
+        self._refill(when)
+        self._tokens -= size_bytes

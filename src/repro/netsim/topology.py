@@ -1,0 +1,92 @@
+"""Topology builders.
+
+The paper's testbed is a three-node path: client hosts behind a lab
+gateway (the compromised middlebox) talking to the web server.
+:func:`build_adversary_path` wires that up and returns a
+:class:`PathTopology` bundle the higher layers build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netsim.link import Link, LinkConfig
+from repro.netsim.middlebox import Middlebox
+from repro.netsim.node import Host
+from repro.simkernel.randomstream import RandomStreams
+from repro.simkernel.simulator import Simulator
+from repro.simkernel.trace import TraceLog
+
+
+@dataclass
+class PathTopology:
+    """A wired client — middlebox — server path."""
+
+    sim: Simulator
+    trace: TraceLog
+    rng: RandomStreams
+    client: Host
+    server: Host
+    middlebox: Middlebox
+    client_link: Link
+    server_link: Link
+
+
+def build_adversary_path(
+    sim: Optional[Simulator] = None,
+    seed: int = 0,
+    client_link_config: Optional[LinkConfig] = None,
+    server_link_config: Optional[LinkConfig] = None,
+    trace: Optional[TraceLog] = None,
+) -> PathTopology:
+    """Build the canonical testbed topology.
+
+    Args:
+        sim: an existing simulator, or None to create a fresh one.
+        seed: master seed for all random substreams.
+        client_link_config: client↔gateway link parameters (LAN defaults).
+        server_link_config: gateway↔server link parameters (WAN defaults).
+        trace: shared trace log, or None to create one.
+
+    Returns:
+        A fully wired :class:`PathTopology`; the client and server hosts
+        still need transport stacks bound on top.
+    """
+    sim = sim or Simulator()
+    trace = trace or TraceLog()
+    rng = RandomStreams(seed)
+
+    if client_link_config is None:
+        # Campus LAN hop: fast and short.
+        client_link_config = LinkConfig(propagation_delay=0.0005)
+    if server_link_config is None:
+        # Gateway to web server across the Internet; a touch of ambient
+        # loss so baseline TCP retransmissions are non-zero (the
+        # reference point of Table I's "increase in retransmissions").
+        server_link_config = LinkConfig(
+            propagation_delay=0.015, loss_rate=0.001
+        )
+
+    client = Host(sim, "client", trace=trace)
+    server = Host(sim, "server", trace=trace)
+    middlebox = Middlebox(sim, "gateway", trace=trace)
+
+    client_link = Link(sim, client_link_config, rng=rng, trace=trace, name="client-link")
+    server_link = Link(sim, server_link_config, rng=rng, trace=trace, name="server-link")
+
+    client.attach_link(client_link.a)
+    middlebox.attach_client_side(client_link.b)
+    middlebox.attach_server_side(server_link.a)
+    server.attach_link(server_link.b)
+
+    return PathTopology(
+        sim=sim,
+        trace=trace,
+        rng=rng,
+        client=client,
+        server=server,
+        middlebox=middlebox,
+        client_link=client_link,
+        server_link=server_link,
+    )

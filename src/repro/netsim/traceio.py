@@ -1,0 +1,93 @@
+"""Capture persistence: save and reload middlebox captures.
+
+The paper's adversary captured live traffic with tshark and analyzed it
+offline with Python scripts.  This module provides the equivalent
+workflow for the simulated gateway: a :class:`CaptureLog` serializes to
+a JSON-lines trace file (one packet record per line, header fields
+only — exactly what an on-path observer keeps) and loads back for
+offline analysis, so experiments can be split into capture and analysis
+phases or traces shared between machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator, Union
+
+from repro.netsim.capture import CaptureLog, Direction, PacketRecord
+
+#: Format marker written as the first line.
+TRACE_HEADER = {"format": "repro-capture", "version": 1}
+
+
+def _record_to_dict(record: PacketRecord) -> dict:
+    return {
+        "t": record.time,
+        "dir": record.direction.value,
+        "id": record.packet_id,
+        "wire": record.wire_size,
+        "payload": record.payload_bytes,
+        "flags": list(record.flags),
+        "seq": record.seq,
+        "ack": record.ack,
+        "tls": list(record.tls_content_types),
+        "dropped": record.dropped_by_adversary,
+    }
+
+
+def _record_from_dict(data: dict) -> PacketRecord:
+    return PacketRecord(
+        time=float(data["t"]),
+        direction=Direction(data["dir"]),
+        packet_id=int(data["id"]),
+        wire_size=int(data["wire"]),
+        payload_bytes=int(data["payload"]),
+        flags=tuple(data.get("flags", ())),
+        seq=int(data.get("seq", 0)),
+        ack=int(data.get("ack", 0)),
+        tls_content_types=tuple(int(ct) for ct in data.get("tls", ())),
+        dropped_by_adversary=bool(data.get("dropped", False)),
+    )
+
+
+def save_capture(capture: CaptureLog, path: Union[str, Path]) -> int:
+    """Write a capture to a JSON-lines trace file.
+
+    Returns the number of packet records written.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(TRACE_HEADER) + "\n")
+        count = 0
+        for record in capture:
+            handle.write(json.dumps(_record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def load_capture(path: Union[str, Path]) -> CaptureLog:
+    """Read a trace file back into a :class:`CaptureLog`.
+
+    Raises:
+        ValueError: when the file is not a repro capture trace or its
+            version is unsupported.
+    """
+    path = Path(path)
+    capture = CaptureLog()
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != "repro-capture":
+            raise ValueError(f"{path}: not a repro capture trace")
+        if header.get("version") != 1:
+            raise ValueError(
+                f"{path}: unsupported trace version {header.get('version')}"
+            )
+        for line in handle:
+            line = line.strip()
+            if line:
+                capture.append(_record_from_dict(json.loads(line)))
+    return capture

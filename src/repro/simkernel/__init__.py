@@ -1,0 +1,52 @@
+"""Discrete-event simulation kernel.
+
+This package provides the event-driven substrate on which the network,
+TCP, TLS and HTTP/2 models run.  It is deliberately small and dependency
+free: a binary-heap event queue with deterministic tie-breaking, a
+simulator facade with a virtual clock, restartable timers, generator
+based processes, seeded per-component random streams, and a structured
+trace log used by the experiment harness.
+
+The simulated clock is a ``float`` measured in **seconds**.  Helpers for
+converting human-friendly units (milliseconds, Mbps) live in
+:mod:`repro.simkernel.units`.
+"""
+
+from repro.simkernel.errors import SchedulingError, SimulationError
+from repro.simkernel.event import Event, EventQueue
+from repro.simkernel.process import Process
+from repro.simkernel.randomstream import RandomStreams
+from repro.simkernel.simulator import Simulator
+from repro.simkernel.timers import Timer
+from repro.simkernel.trace import TraceLog, TraceRecord
+from repro.simkernel.units import (
+    GBPS,
+    KBPS,
+    MBPS,
+    MICROSECONDS,
+    MILLISECONDS,
+    SECONDS,
+    bandwidth_to_bytes_per_second,
+    transmission_delay,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "GBPS",
+    "KBPS",
+    "MBPS",
+    "MICROSECONDS",
+    "MILLISECONDS",
+    "Process",
+    "RandomStreams",
+    "SchedulingError",
+    "SECONDS",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "TraceLog",
+    "TraceRecord",
+    "bandwidth_to_bytes_per_second",
+    "transmission_delay",
+]

@@ -1,0 +1,13 @@
+"""Exception hierarchy for the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulation kernel."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled or cancelled incorrectly.
+
+    Typical causes are scheduling in the past, scheduling on a stopped
+    simulator, or cancelling an event twice.
+    """

@@ -1,0 +1,102 @@
+"""Event objects and the binary-heap event queue.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence
+number is a monotonically increasing insertion counter, which makes the
+ordering total and the simulation fully deterministic: two events
+scheduled for the same instant fire in the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.simkernel.errors import SchedulingError
+
+
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: absolute simulated time at which the event fires.
+        priority: tie-breaker; lower priorities fire first at equal time.
+        callback: zero-argument callable invoked when the event fires.
+        cancelled: True once :meth:`cancel` has been called.  Cancelled
+            events stay in the heap but are skipped when popped.
+    """
+
+    __slots__ = ("time", "priority", "sequence", "callback", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[[], Any],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it will be skipped instead of fired.
+
+        Raises:
+            SchedulingError: if the event was already cancelled.
+        """
+        if self.cancelled:
+            raise SchedulingError("event cancelled twice")
+        self.cancelled = True
+
+    def _sort_key(self) -> tuple:
+        return (self.time, self.priority, self.sequence)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._sort_key() < other._sort_key()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {state})"
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, priority: int, callback: Callable[[], Any]) -> Event:
+        """Insert a new event and return it (so the caller can cancel it)."""
+        event = Event(time, priority, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None when empty.
+
+        Cancelled events encountered on the way are discarded silently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

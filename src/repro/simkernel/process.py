@@ -1,0 +1,81 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a generator that ``yield``s floating-point
+delays; the kernel resumes it after each delay elapses.  This gives a
+readable, sequential style for scripted behaviours (a browser issuing
+requests on a schedule, an adversary phase machine)::
+
+    def browser(sim):
+        yield 0.5          # think time
+        send_request()
+        yield 0.160        # inter-request gap from Table II
+        send_request()
+
+    Process(sim, browser(sim)).start()
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.simkernel.errors import SimulationError
+from repro.simkernel.simulator import Simulator
+
+
+class Process:
+    """Drives a delay-yielding generator on the simulator clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[float, None, None],
+        name: str = "",
+    ) -> None:
+        self._sim = sim
+        self._generator = generator
+        self._started = False
+        self._finished = False
+        self.name = name
+
+    @property
+    def finished(self) -> bool:
+        """True once the generator has returned or been stopped."""
+        return self._finished
+
+    def start(self, delay: float = 0.0) -> "Process":
+        """Begin executing the process ``delay`` seconds from now.
+
+        Returns self, for chaining.
+
+        Raises:
+            SimulationError: if the process was already started.
+        """
+        if self._started:
+            raise SimulationError(f"process {self.name!r} started twice")
+        self._started = True
+        self._sim.schedule(delay, self._step)
+        return self
+
+    def stop(self) -> None:
+        """Abort the process; the generator is closed immediately."""
+        if not self._finished:
+            self._finished = True
+            self._generator.close()
+
+    def _step(self) -> None:
+        if self._finished:
+            return
+        try:
+            delay = next(self._generator)
+        except StopIteration:
+            self._finished = True
+            return
+        if delay is None or delay < 0:
+            raise SimulationError(
+                f"process {self.name!r} yielded invalid delay {delay!r}"
+            )
+        self._sim.schedule(delay, self._step)
+
+    def __repr__(self) -> str:
+        state = "finished" if self._finished else ("running" if self._started else "new")
+        return f"Process({self.name!r}, {state})"

@@ -1,0 +1,79 @@
+"""Seeded, named random substreams.
+
+Every stochastic component (link jitter, browser think times, workload
+orderings) draws from its own named substream derived from a single
+master seed.  Components therefore stay statistically independent, and
+adding a new consumer never perturbs the draws of existing ones — the
+property that makes multi-trial experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class RandomStreams:
+    """A factory of independent ``random.Random`` substreams."""
+
+    def __init__(self, master_seed: int) -> None:
+        self._master_seed = int(master_seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    @property
+    def master_seed(self) -> int:
+        return self._master_seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the substream for ``name``, creating it on first use.
+
+        The substream seed is a stable hash of ``(master_seed, name)``,
+        so the same name always yields the same sequence for a given
+        master seed, independent of creation order.
+        """
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        digest = hashlib.sha256(
+            f"{self._master_seed}:{name}".encode("utf-8")
+        ).digest()
+        seed = int.from_bytes(digest[:8], "big")
+        stream = random.Random(seed)
+        self._streams[name] = stream
+        return stream
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Derive a child :class:`RandomStreams` (e.g. one per trial)."""
+        digest = hashlib.sha256(
+            f"{self._master_seed}/spawn/{name}".encode("utf-8")
+        ).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "big"))
+
+    # Convenience draws -------------------------------------------------
+
+    def uniform(self, name: str, low: float, high: float) -> float:
+        """Uniform draw from the named substream."""
+        return self.stream(name).uniform(low, high)
+
+    def expovariate(self, name: str, rate: float) -> float:
+        """Exponential draw with the given rate from the named substream."""
+        return self.stream(name).expovariate(rate)
+
+    def choice(self, name: str, options: Sequence[T]) -> T:
+        """Pick one element from ``options`` using the named substream."""
+        return self.stream(name).choice(list(options))
+
+    def shuffled(self, name: str, items: Sequence[T]) -> List[T]:
+        """Return a shuffled copy of ``items`` (the input is untouched)."""
+        copy = list(items)
+        self.stream(name).shuffle(copy)
+        return copy
+
+    def __repr__(self) -> str:
+        return (
+            f"RandomStreams(seed={self._master_seed}, "
+            f"streams={sorted(self._streams)})"
+        )

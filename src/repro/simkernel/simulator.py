@@ -1,0 +1,150 @@
+"""The simulator: a virtual clock driving an event queue."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simkernel.errors import SchedulingError
+from repro.simkernel.event import Event, EventQueue
+
+
+class Simulator:
+    """Owns the virtual clock and executes events in time order.
+
+    A single ``Simulator`` instance is shared by every component of a
+    testbed (links, TCP endpoints, HTTP/2 peers, the adversary).  Time
+    only advances inside :meth:`run` / :meth:`run_until`; callbacks run
+    synchronously at their scheduled instant.
+    """
+
+    #: Default event priority.  Packet deliveries use this.
+    PRIORITY_NORMAL = 100
+    #: Timers fire after same-instant packet deliveries.
+    PRIORITY_TIMER = 200
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far (cancelled ones excluded)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still in the queue."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Args:
+            delay: non-negative offset from the current time.
+            callback: zero-argument callable.
+            priority: tie-break for events at the same instant.
+
+        Returns:
+            The :class:`Event`, which can be cancelled.
+
+        Raises:
+            SchedulingError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self._now + delay, priority, callback)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``time``.
+
+        Raises:
+            SchedulingError: if ``time`` is earlier than the current time.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        return self._queue.push(time, priority, callback)
+
+    def call_soon(self, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at the current instant (after pending work)."""
+        return self.schedule(0.0, callback)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current callback returns."""
+        self._stopped = True
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, :meth:`stop` is called, or
+        ``max_events`` callbacks have executed.
+
+        Raises:
+            SchedulingError: on re-entrant invocation.
+        """
+        self._run_loop(until=None, max_events=max_events)
+
+    def run_until(self, until: float, max_events: Optional[int] = None) -> None:
+        """Run events with ``time <= until`` and leave the clock at
+        ``until`` (or at the stop point if stopped early)."""
+        self._run_loop(until=until, max_events=max_events)
+        if not self._stopped and self._now < until:
+            self._now = until
+        self._stopped = False
+
+    def _run_loop(self, until: Optional[float], max_events: Optional[int]) -> None:
+        if self._running:
+            raise SchedulingError("simulator run loop is not re-entrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                assert event is not None  # peek_time said there was one
+                self._now = event.time
+                event.callback()
+                executed += 1
+                self._events_executed += 1
+        finally:
+            self._running = False
+
+    def reset(self) -> None:
+        """Clear the queue and rewind the clock to zero.
+
+        Only intended for test fixtures; live components holding timer
+        references must not be reused across a reset.
+        """
+        self._queue.clear()
+        self._now = 0.0
+        self._stopped = False
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self._now:.6f}, pending={self.pending_events}, "
+            f"executed={self._events_executed})"
+        )

@@ -1,0 +1,86 @@
+"""Structured trace log.
+
+Components append :class:`TraceRecord` entries (a timestamp, a category
+string such as ``"tcp.retransmit"`` or ``"h2.rst_stream"``, and a dict
+of fields).  The experiment harness filters and counts records to
+compute the paper's metrics — e.g. Table I's "increase in number of
+retransmissions" is a count of ``tcp.retransmit`` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured log entry."""
+
+    time: float
+    category: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class TraceLog:
+    """An append-only, filterable event log shared by a testbed."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._records: List[TraceRecord] = []
+        self.enabled = enabled
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def record(self, time: float, category: str, **fields: Any) -> None:
+        """Append one record (a no-op when the log is disabled)."""
+        if self.enabled:
+            self._records.append(TraceRecord(time, category, fields))
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        prefix: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Return records matching all the given filters.
+
+        Args:
+            category: exact category match.
+            prefix: category prefix match (e.g. ``"tcp."``).
+            predicate: arbitrary record filter applied last.
+        """
+        result = []
+        for record in self._records:
+            if category is not None and record.category != category:
+                continue
+            if prefix is not None and not record.category.startswith(prefix):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            result.append(record)
+        return result
+
+    def count(self, category: Optional[str] = None, prefix: Optional[str] = None) -> int:
+        """Count records matching the filters."""
+        return len(self.select(category=category, prefix=prefix))
+
+    def categories(self) -> Dict[str, int]:
+        """Histogram of categories, for quick inspection in tests."""
+        histogram: Dict[str, int] = {}
+        for record in self._records:
+            histogram[record.category] = histogram.get(record.category, 0) + 1
+        return histogram
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()

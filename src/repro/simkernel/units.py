@@ -1,0 +1,55 @@
+"""Unit helpers for simulated time and bandwidth.
+
+The simulator clock counts **seconds**.  Multiply a quantity by one of
+the constants below to convert it into seconds::
+
+    sim.schedule(25 * MILLISECONDS, callback)
+
+Bandwidth is expressed in bits per second; :data:`MBPS` converts from
+megabits per second, matching the units the paper uses for its
+throttling experiments (1000, 800, 500, 100 and 1 Mbps).
+"""
+
+#: One simulated second (the base unit of the clock).
+SECONDS = 1.0
+
+#: One simulated millisecond.
+MILLISECONDS = 1e-3
+
+#: One simulated microsecond.
+MICROSECONDS = 1e-6
+
+#: One kilobit per second, in bits per second.
+KBPS = 1e3
+
+#: One megabit per second, in bits per second.
+MBPS = 1e6
+
+#: One gigabit per second, in bits per second.
+GBPS = 1e9
+
+
+def bandwidth_to_bytes_per_second(bits_per_second: float) -> float:
+    """Convert a bandwidth in bits/s into bytes/s.
+
+    Raises:
+        ValueError: if the bandwidth is not strictly positive.
+    """
+    if bits_per_second <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bits_per_second}")
+    return bits_per_second / 8.0
+
+
+def transmission_delay(size_bytes: int, bits_per_second: float) -> float:
+    """Serialization delay of ``size_bytes`` on a ``bits_per_second`` link.
+
+    Args:
+        size_bytes: packet size in bytes (zero is allowed and yields 0.0).
+        bits_per_second: link rate; must be strictly positive.
+
+    Returns:
+        The time in seconds the link needs to clock the packet out.
+    """
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes}")
+    return size_bytes / bandwidth_to_bytes_per_second(bits_per_second)

@@ -1,0 +1,67 @@
+"""TCP tunables, defaulting to Linux-like values of the paper's era."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TCPConfig:
+    """Per-connection TCP parameters.
+
+    Attributes:
+        mss: maximum segment payload in bytes.  1448 corresponds to a
+            1500-byte MTU minus IP/TCP headers and the 12-byte timestamp
+            option Linux sends on every segment.
+        option_bytes: TCP option bytes carried on every data/ACK segment
+            (timestamps).
+        initial_window_segments: initial congestion window (IW10).
+        receive_window: advertised receive window in bytes; large enough
+            (with window scaling implied) that the receiver is not the
+            bottleneck in our scenarios.
+        min_rto: lower bound on the retransmission timeout (Linux: 200 ms).
+        max_rto: upper bound on the retransmission timeout.
+        dupack_threshold: duplicate ACKs that trigger fast retransmit.
+        delayed_ack: whether the receiver delays ACKs for full segments.
+        delayed_ack_timeout: delayed-ACK timer (Linux: 40 ms).
+        deliver_duplicate_messages: when True, retransmitted segments
+            fully covering an already-delivered application message make
+            the receiver deliver that message *again* — the server-side
+            quirk the paper observed (duplicate GETs each spawn a
+            handler thread).
+        congestion_control: "reno" (default, what the testbed was
+            calibrated against) or "cubic" (the Linux default of the
+            paper's era).
+        sack: enable selective acknowledgments.  The receiver reports
+            its out-of-order ranges on every ACK; the sender then
+            retransmits only the holes instead of going back-N.  Off by
+            default (the calibrated baseline); the loss-recovery
+            ablation turns it on.
+    """
+
+    mss: int = 1448
+    option_bytes: int = 12
+    initial_window_segments: int = 10
+    receive_window: int = 1 << 20
+    min_rto: float = 0.2
+    max_rto: float = 60.0
+    dupack_threshold: int = 3
+    delayed_ack: bool = True
+    delayed_ack_timeout: float = 0.04
+    deliver_duplicate_messages: bool = False
+    congestion_control: str = "reno"
+    sack: bool = False
+
+    def __post_init__(self) -> None:
+        if self.congestion_control not in ("reno", "cubic"):
+            raise ValueError(
+                f"unknown congestion control {self.congestion_control!r}"
+            )
+        if self.mss <= 0:
+            raise ValueError("mss must be positive")
+        if self.initial_window_segments <= 0:
+            raise ValueError("initial window must be positive")
+        if self.min_rto <= 0 or self.max_rto < self.min_rto:
+            raise ValueError("invalid RTO bounds")
+        if self.dupack_threshold < 1:
+            raise ValueError("dupack threshold must be >= 1")

@@ -1,0 +1,215 @@
+"""Congestion control: Reno (default) and CUBIC.
+
+Reno — slow start, congestion avoidance, and fast retransmit / fast
+recovery with window inflation — is the testbed default: its dynamics
+are simple to reason about and all calibrations were done against it.
+CUBIC (RFC 8312), the Linux default in the paper's era, is provided as
+a drop-in alternative (``TCPConfig.congestion_control = "cubic"``) for
+sensitivity studies: its faster post-loss regrowth changes transfer
+shapes but none of the attack's qualitative results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+
+class RenoCongestionControl:
+    """Congestion window state for one connection."""
+
+    def __init__(self, mss: int, initial_window_segments: int = 10) -> None:
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        self.mss = mss
+        self.cwnd = mss * initial_window_segments
+        self.ssthresh = float("inf")
+        self.in_recovery = False
+        self.recovery_point = 0
+        self._avoidance_accumulator = 0
+        # Counters for experiment reporting.
+        self.fast_retransmits = 0
+        self.timeouts = 0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def on_ack_progress(self, acked_bytes: int, snd_una: int) -> None:
+        """New data acknowledged.
+
+        Exits fast recovery when the ACK passes the recovery point;
+        otherwise grows the window (exponentially in slow start, by one
+        MSS per RTT in congestion avoidance).
+        """
+        if self.in_recovery:
+            if snd_una >= self.recovery_point:
+                self.cwnd = max(self.ssthresh, 2 * self.mss)
+                self.in_recovery = False
+            return
+        if self.in_slow_start:
+            self.cwnd += min(acked_bytes, self.mss)
+        else:
+            self._avoidance_accumulator += acked_bytes
+            if self._avoidance_accumulator >= self.cwnd:
+                self._avoidance_accumulator -= self.cwnd
+                self.cwnd += self.mss
+
+    def on_fast_retransmit(self, flight_size: int, snd_nxt: int) -> None:
+        """Third duplicate ACK: halve and enter fast recovery."""
+        self.ssthresh = max(flight_size // 2, 2 * self.mss)
+        self.cwnd = self.ssthresh + 3 * self.mss
+        self.in_recovery = True
+        self.recovery_point = snd_nxt
+        self.fast_retransmits += 1
+
+    def on_duplicate_ack_in_recovery(self) -> None:
+        """Window inflation: each further dup ACK signals a departure."""
+        if self.in_recovery:
+            self.cwnd += self.mss
+
+    def on_timeout(self, flight_size: int) -> None:
+        """Retransmission timeout: collapse to one segment."""
+        self.ssthresh = max(flight_size // 2, 2 * self.mss)
+        self.cwnd = self.mss
+        self.in_recovery = False
+        self._avoidance_accumulator = 0
+        self.timeouts += 1
+
+    def __repr__(self) -> str:
+        phase = (
+            "recovery" if self.in_recovery
+            else ("slow-start" if self.in_slow_start else "avoidance")
+        )
+        return f"RenoCongestionControl(cwnd={self.cwnd}, ssthresh={self.ssthresh}, {phase})"
+
+
+class CubicCongestionControl:
+    """CUBIC congestion control (RFC 8312, simplified).
+
+    The window grows along a cubic curve anchored at the window size
+    before the last loss (``w_max``): concave regrowth toward w_max,
+    a plateau around it, then convex probing beyond.  A TCP-friendly
+    lower bound keeps it at least as aggressive as Reno at small
+    bandwidth-delay products.
+
+    ``now`` supplies the simulated clock (CUBIC growth is a function of
+    time since the last loss, unlike Reno's pure ACK counting).
+    """
+
+    #: RFC 8312 constants.
+    C = 0.4
+    BETA = 0.7
+
+    def __init__(
+        self,
+        mss: int,
+        now: Callable[[], float],
+        initial_window_segments: int = 10,
+    ) -> None:
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        self.mss = mss
+        self._now = now
+        self.cwnd = mss * initial_window_segments
+        self.ssthresh = float("inf")
+        self.in_recovery = False
+        self.recovery_point = 0
+        self._w_max = float(self.cwnd)
+        self._epoch_start: Optional[float] = None
+        self._k = 0.0
+        self._reno_window = float(self.cwnd)
+        self.fast_retransmits = 0
+        self.timeouts = 0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    # -- growth ----------------------------------------------------------
+
+    def _segments(self, window_bytes: float) -> float:
+        return window_bytes / self.mss
+
+    def _begin_epoch(self) -> None:
+        self._epoch_start = self._now()
+        w_max_seg = self._segments(self._w_max)
+        cwnd_seg = self._segments(self.cwnd)
+        if w_max_seg > cwnd_seg:
+            self._k = ((w_max_seg - cwnd_seg) / self.C) ** (1.0 / 3.0)
+        else:
+            self._k = 0.0
+        self._reno_window = float(self.cwnd)
+
+    def on_ack_progress(self, acked_bytes: int, snd_una: int) -> None:
+        if self.in_recovery:
+            if snd_una >= self.recovery_point:
+                self.in_recovery = False
+                self._begin_epoch()
+            return
+        if self.in_slow_start:
+            self.cwnd += min(acked_bytes, self.mss)
+            return
+        if self._epoch_start is None:
+            self._begin_epoch()
+        elapsed = self._now() - self._epoch_start
+        target_seg = (
+            self.C * (elapsed - self._k) ** 3
+            + self._segments(self._w_max)
+        )
+        cwnd_seg = self._segments(self.cwnd)
+        # TCP-friendly region: emulate Reno's one-MSS-per-RTT growth.
+        self._reno_window += self.mss * (acked_bytes / max(self.cwnd, 1))
+        target_seg = max(target_seg, self._segments(self._reno_window))
+        if target_seg > cwnd_seg:
+            # Spread the approach to the target across the window's ACKs.
+            increment = self.mss * (target_seg - cwnd_seg) / max(cwnd_seg, 1)
+            self.cwnd += max(0, int(increment))
+
+    # -- loss events -------------------------------------------------------
+
+    def on_fast_retransmit(self, flight_size: int, snd_nxt: int) -> None:
+        self._w_max = float(self.cwnd)
+        reduced = max(int(self.cwnd * self.BETA), 2 * self.mss)
+        self.ssthresh = reduced
+        self.cwnd = reduced + 3 * self.mss
+        self.in_recovery = True
+        self.recovery_point = snd_nxt
+        self.fast_retransmits += 1
+
+    def on_duplicate_ack_in_recovery(self) -> None:
+        if self.in_recovery:
+            self.cwnd += self.mss
+
+    def on_timeout(self, flight_size: int) -> None:
+        self._w_max = float(max(self.cwnd, self.mss))
+        self.ssthresh = max(int(self.cwnd * self.BETA), 2 * self.mss)
+        self.cwnd = self.mss
+        self.in_recovery = False
+        self._epoch_start = None
+        self.timeouts += 1
+
+    def __repr__(self) -> str:
+        phase = (
+            "recovery" if self.in_recovery
+            else ("slow-start" if self.in_slow_start else "cubic")
+        )
+        return f"CubicCongestionControl(cwnd={self.cwnd}, {phase})"
+
+
+def make_congestion_control(
+    algorithm: str,
+    mss: int,
+    initial_window_segments: int,
+    now: Callable[[], float],
+):
+    """Factory used by :class:`~repro.tcp.connection.TCPConnection`.
+
+    Raises:
+        ValueError: for unknown algorithm names.
+    """
+    if algorithm == "reno":
+        return RenoCongestionControl(mss, initial_window_segments)
+    if algorithm == "cubic":
+        return CubicCongestionControl(mss, now, initial_window_segments)
+    raise ValueError(f"unknown congestion control {algorithm!r}")

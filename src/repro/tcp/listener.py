@@ -1,0 +1,87 @@
+"""The passive (server) side of connection establishment.
+
+A :class:`TCPListener` owns a well-known port, demultiplexes arriving
+packets to per-peer :class:`~repro.tcp.connection.TCPConnection`
+objects, and creates a new connection whenever a SYN from an unknown
+peer arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.netsim.address import Endpoint
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet
+from repro.simkernel.simulator import Simulator
+from repro.simkernel.trace import TraceLog
+from repro.tcp.config import TCPConfig
+from repro.tcp.connection import TCPConnection
+from repro.tcp.segment import SYN
+
+
+class TCPListener:
+    """Accepts inbound connections on one port.
+
+    Args:
+        on_accept: called with each newly created server-side
+            connection, *before* the SYN-ACK is sent, so the caller can
+            install ``on_message`` / ``on_established`` callbacks.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        port: int,
+        on_accept: Callable[[TCPConnection], None],
+        config: Optional[TCPConfig] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self._sim = sim
+        self._host = host
+        self._port = port
+        self._on_accept = on_accept
+        self._config = config or TCPConfig()
+        self._trace = trace
+        self._connections: Dict[Endpoint, TCPConnection] = {}
+        host.bind(port, self._dispatch)
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def connections(self) -> Dict[Endpoint, TCPConnection]:
+        """Live view of accepted connections, keyed by peer endpoint."""
+        return self._connections
+
+    def close(self) -> None:
+        """Stop listening; existing connections keep running."""
+        self._host.unbind(self._port)
+
+    def _dispatch(self, packet: Packet) -> None:
+        peer = packet.src
+        connection = self._connections.get(peer)
+        if connection is None:
+            segment = packet.segment
+            if segment is None or not segment.has(SYN):
+                return  # Stray non-SYN for an unknown peer: ignore.
+            connection = TCPConnection(
+                sim=self._sim,
+                host=self._host,
+                local_port=self._port,
+                remote=peer,
+                config=self._config,
+                trace=self._trace,
+                owns_port=False,
+                name=f"server:{peer}",
+            )
+            self._connections[peer] = connection
+            self._on_accept(connection)
+            connection.accept_syn()
+            return
+        connection.handle_packet(packet)
+
+    def __repr__(self) -> str:
+        return f"TCPListener(port={self._port}, peers={len(self._connections)})"

@@ -1,0 +1,96 @@
+"""Out-of-order reassembly buffer.
+
+Tracks which parts of the peer's sequence space have arrived, merges
+overlapping ranges, and advances the cumulative acknowledgement point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class ReassemblyBuffer:
+    """Byte-range reassembly with a cumulative delivery pointer."""
+
+    def __init__(self, initial_seq: int = 0) -> None:
+        self._rcv_nxt = initial_seq
+        self._segments: List[Tuple[int, int]] = []  # sorted, disjoint
+        self.duplicate_bytes = 0
+
+    @property
+    def rcv_nxt(self) -> int:
+        """Next expected sequence number (cumulative ACK point)."""
+        return self._rcv_nxt
+
+    @property
+    def out_of_order_ranges(self) -> List[Tuple[int, int]]:
+        """Buffered ranges beyond the cumulative point (copy)."""
+        return list(self._segments)
+
+    @property
+    def has_gap(self) -> bool:
+        """True when out-of-order data is waiting on a hole."""
+        return bool(self._segments)
+
+    def receive(self, start: int, end: int) -> Tuple[int, bool]:
+        """Accept range ``[start, end)``.
+
+        Returns:
+            ``(new_rcv_nxt, was_duplicate)`` where ``was_duplicate`` is
+            True when the range contributed no new bytes.
+        """
+        if end <= start:
+            return self._rcv_nxt, True
+        if end <= self._rcv_nxt:
+            self.duplicate_bytes += end - start
+            return self._rcv_nxt, True
+
+        clipped_start = max(start, self._rcv_nxt)
+        new_bytes = self._insert(clipped_start, end)
+        if not new_bytes:
+            self.duplicate_bytes += end - start
+        self._advance()
+        return self._rcv_nxt, not new_bytes
+
+    def _insert(self, start: int, end: int) -> bool:
+        """Merge ``[start, end)`` into the buffered set; True if it added
+        at least one new byte."""
+        merged: List[Tuple[int, int]] = []
+        added = False
+        placed = False
+        new_start, new_end = start, end
+        for seg_start, seg_end in self._segments:
+            if seg_end < new_start:
+                merged.append((seg_start, seg_end))
+            elif new_end < seg_start:
+                if not placed:
+                    if self._covers_new_bytes(new_start, new_end):
+                        added = True
+                    merged.append((new_start, new_end))
+                    placed = True
+                merged.append((seg_start, seg_end))
+            else:
+                # Overlap: fold the existing segment into the new one.
+                if new_start < seg_start or new_end > seg_end:
+                    added = True
+                new_start = min(new_start, seg_start)
+                new_end = max(new_end, seg_end)
+        if not placed:
+            if self._covers_new_bytes(new_start, new_end):
+                added = True
+            merged.append((new_start, new_end))
+        self._segments = merged
+        return added
+
+    def _covers_new_bytes(self, start: int, end: int) -> bool:
+        """True when ``[start, end)`` is not fully covered already."""
+        for seg_start, seg_end in self._segments:
+            if seg_start <= start and end <= seg_end:
+                return False
+        return end > start
+
+    def _advance(self) -> None:
+        while self._segments and self._segments[0][0] <= self._rcv_nxt:
+            seg_start, seg_end = self._segments.pop(0)
+            if seg_end > self._rcv_nxt:
+                self._rcv_nxt = seg_end

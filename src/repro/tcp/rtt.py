@@ -1,0 +1,89 @@
+"""RTT estimation and retransmission timeout (Jacobson/Karels).
+
+Implements the classic ``srtt``/``rttvar`` smoothing with an RTO of
+``srtt + 4 * rttvar`` clamped to ``[min_rto, max_rto]``, exponential
+backoff on timeout, and Karn's rule (callers must not feed samples from
+retransmitted segments).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RTOEstimator:
+    """Tracks smoothed RTT and computes the retransmission timeout."""
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+
+    def __init__(self, min_rto: float = 0.2, max_rto: float = 60.0,
+                 initial_rto: float = 1.0) -> None:
+        if min_rto <= 0 or max_rto < min_rto:
+            raise ValueError("invalid RTO bounds")
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self._initial_rto = initial_rto
+        self._srtt: Optional[float] = None
+        self._rttvar: Optional[float] = None
+        self._backoff = 1
+        self.samples = 0
+
+    @property
+    def srtt(self) -> Optional[float]:
+        """Smoothed RTT, or None before the first sample."""
+        return self._srtt
+
+    @property
+    def rttvar(self) -> Optional[float]:
+        return self._rttvar
+
+    @property
+    def backoff(self) -> int:
+        """Current exponential backoff multiplier (1 when healthy)."""
+        return self._backoff
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout in seconds."""
+        if self._srtt is None:
+            base = self._initial_rto
+        else:
+            base = self._srtt + 4.0 * self._rttvar
+        return min(self.max_rto, max(self.min_rto, base) * self._backoff)
+
+    def on_sample(self, rtt: float) -> None:
+        """Feed one RTT measurement (never from a retransmitted segment).
+
+        A valid sample also resets the exponential backoff, per RFC 6298.
+        """
+        if rtt < 0:
+            raise ValueError(f"negative RTT sample: {rtt}")
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2.0
+        else:
+            self._rttvar = (
+                (1 - self.BETA) * self._rttvar + self.BETA * abs(self._srtt - rtt)
+            )
+            self._srtt = (1 - self.ALPHA) * self._srtt + self.ALPHA * rtt
+        self._backoff = 1
+        self.samples += 1
+
+    def on_timeout(self) -> None:
+        """Double the RTO (capped by ``max_rto`` at evaluation time)."""
+        self._backoff = min(self._backoff * 2, 64)
+
+    def reset_backoff(self) -> None:
+        """Clear exponential backoff.
+
+        Linux resets the backoff as soon as an ACK advances ``snd_una``
+        (even for ACKs of retransmitted data, which Karn's rule bars
+        from RTT sampling); without this, a connection that survived a
+        loss burst crawls at the backed-off RTO for tens of seconds.
+        """
+        self._backoff = 1
+
+    def __repr__(self) -> str:
+        srtt = f"{self._srtt * 1000:.1f}ms" if self._srtt is not None else "?"
+        return f"RTOEstimator(srtt={srtt}, rto={self.rto * 1000:.1f}ms, backoff={self._backoff})"

@@ -1,0 +1,70 @@
+"""TCP segments.
+
+A segment names a half-open range ``[seq, seq + payload_bytes)`` of the
+sender's sequence space.  Instead of carrying bytes it carries a
+reference to the sender's :class:`~repro.tcp.stream.StreamLayout`, which
+maps sequence ranges back to application messages — the simulated
+equivalent of the byte stream describing itself.  ``tls_records`` lists
+the TLS record headers that *begin* inside the segment, which is
+exactly the per-packet information tshark surfaces to the adversary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional, Tuple
+
+SYN = "SYN"
+ACK = "ACK"
+FIN = "FIN"
+RST = "RST"
+
+
+@dataclass
+class TCPSegment:
+    """One TCP segment (header plus symbolic payload)."""
+
+    seq: int
+    ack: int
+    flags: FrozenSet[str]
+    payload_bytes: int = 0
+    window: int = 1 << 20
+    option_bytes: int = 12
+    layout: Optional[Any] = None  # StreamLayout of the sender
+    tls_records: Tuple[Any, ...] = field(default_factory=tuple)
+    is_retransmission: bool = False
+    #: SACK blocks: the receiver's out-of-order ranges (up to 3, as the
+    #: option space allows).  Empty when SACK is off or unnecessary.
+    sack_blocks: Tuple[Tuple[int, int], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload length must be non-negative")
+        if self.payload_bytes > 0 and self.layout is None:
+            raise ValueError("data segments must reference a stream layout")
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number just past this segment's payload."""
+        return self.seq + self.payload_bytes
+
+    def has(self, flag: str) -> bool:
+        """True when the given control flag is set."""
+        return flag in self.flags
+
+    @property
+    def is_pure_ack(self) -> bool:
+        """True for a dataless segment whose only job is acknowledging."""
+        return (
+            self.payload_bytes == 0
+            and ACK in self.flags
+            and not (self.flags - {ACK})
+        )
+
+    def __repr__(self) -> str:
+        flag_str = "|".join(sorted(self.flags)) or "-"
+        retx = " retx" if self.is_retransmission else ""
+        return (
+            f"TCPSegment(seq={self.seq}, ack={self.ack}, {flag_str}, "
+            f"len={self.payload_bytes}{retx})"
+        )

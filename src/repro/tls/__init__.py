@@ -1,0 +1,39 @@
+"""TLS record layer (size-accurate model).
+
+The adversary never sees plaintext, so this layer models exactly what
+matters on the wire: record framing (5-byte header with a cleartext
+content type), per-record AEAD ciphertext expansion, the maximum
+plaintext fragment size, and a size-realistic handshake exchange.
+Payloads stay opaque Python objects.
+"""
+
+from repro.tls.cipher import (
+    AES_128_GCM_TLS12,
+    AES_128_GCM_TLS13,
+    CipherSpec,
+)
+from repro.tls.record import (
+    ALERT,
+    APPLICATION_DATA,
+    CHANGE_CIPHER_SPEC,
+    HANDSHAKE,
+    MAX_PLAINTEXT_FRAGMENT,
+    TLS_RECORD_HEADER_BYTES,
+    TLSRecord,
+)
+from repro.tls.session import TLSRole, TLSSession
+
+__all__ = [
+    "AES_128_GCM_TLS12",
+    "AES_128_GCM_TLS13",
+    "ALERT",
+    "APPLICATION_DATA",
+    "CHANGE_CIPHER_SPEC",
+    "CipherSpec",
+    "HANDSHAKE",
+    "MAX_PLAINTEXT_FRAGMENT",
+    "TLSRecord",
+    "TLSRole",
+    "TLSSession",
+    "TLS_RECORD_HEADER_BYTES",
+]

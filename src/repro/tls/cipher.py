@@ -1,0 +1,43 @@
+"""Cipher suites as size models.
+
+Encryption itself is irrelevant to the attack; what matters is how many
+bytes a record of a given plaintext length occupies on the wire.  Each
+:class:`CipherSpec` captures the per-record ciphertext expansion of one
+AEAD construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CipherSpec:
+    """Size model of one cipher suite.
+
+    Attributes:
+        name: IANA-style suite name, for display.
+        per_record_overhead: ciphertext bytes added to each record's
+            plaintext (nonces, tags, inner content type), excluding the
+            5-byte record header.
+    """
+
+    name: str
+    per_record_overhead: int
+
+    def __post_init__(self) -> None:
+        if self.per_record_overhead < 0:
+            raise ValueError("overhead must be non-negative")
+
+    def ciphertext_length(self, plaintext_length: int) -> int:
+        """Bytes of ciphertext for a record of the given plaintext size."""
+        if plaintext_length < 0:
+            raise ValueError("plaintext length must be non-negative")
+        return plaintext_length + self.per_record_overhead
+
+
+#: TLS 1.2 AES-128-GCM: 8-byte explicit nonce plus 16-byte tag.
+AES_128_GCM_TLS12 = CipherSpec("TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256", 24)
+
+#: TLS 1.3 AES-128-GCM: 16-byte tag plus 1-byte inner content type.
+AES_128_GCM_TLS13 = CipherSpec("TLS_AES_128_GCM_SHA256", 17)

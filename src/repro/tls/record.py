@@ -1,0 +1,80 @@
+"""TLS records.
+
+A record's 5-byte header — content type, version, length — travels in
+the clear; this is the only thing (besides sizes and timing) the
+adversary reads, via the ``ssl.record.content_type == 23`` filter.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.tls.cipher import AES_128_GCM_TLS12, CipherSpec
+
+#: Record header: content type (1) + version (2) + length (2).
+TLS_RECORD_HEADER_BYTES = 5
+
+#: Maximum plaintext bytes per record (RFC 8446 §5.1).
+MAX_PLAINTEXT_FRAGMENT = 16384
+
+# Content types (RFC 5246 / RFC 8446).
+CHANGE_CIPHER_SPEC = 20
+ALERT = 21
+HANDSHAKE = 22
+APPLICATION_DATA = 23
+
+_record_ids = itertools.count(1)
+
+
+@dataclass
+class TLSRecord:
+    """One TLS record: cleartext header plus opaque encrypted payload.
+
+    Attributes:
+        content_type: cleartext record type (23 = application data).
+        plaintext_length: bytes of plaintext protected by this record.
+        cipher: the suite determining ciphertext expansion.
+        payload: the plaintext object (an HTTP/2 frame) — opaque to any
+            on-path observer, used only by the receiving endpoint and by
+            ground-truth accounting.
+        record_id: unique id for bookkeeping.
+    """
+
+    content_type: int
+    plaintext_length: int
+    cipher: CipherSpec = AES_128_GCM_TLS12
+    payload: Any = None
+    record_id: int = field(default_factory=lambda: next(_record_ids))
+
+    def __post_init__(self) -> None:
+        if not (0 < self.plaintext_length <= MAX_PLAINTEXT_FRAGMENT):
+            raise ValueError(
+                f"plaintext length {self.plaintext_length} outside "
+                f"(0, {MAX_PLAINTEXT_FRAGMENT}]"
+            )
+        if self.content_type not in (
+            CHANGE_CIPHER_SPEC,
+            ALERT,
+            HANDSHAKE,
+            APPLICATION_DATA,
+        ):
+            raise ValueError(f"unknown content type {self.content_type}")
+
+    @property
+    def wire_length(self) -> int:
+        """Total bytes this record occupies in the TCP stream."""
+        return TLS_RECORD_HEADER_BYTES + self.cipher.ciphertext_length(
+            self.plaintext_length
+        )
+
+    @property
+    def is_application_data(self) -> bool:
+        return self.content_type == APPLICATION_DATA
+
+    def __repr__(self) -> str:
+        return (
+            f"TLSRecord(#{self.record_id} type={self.content_type} "
+            f"pt={self.plaintext_length} wire={self.wire_length})"
+        )

@@ -1,0 +1,46 @@
+"""Web objects: the resources a page embeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.h2.server import ResourceSpec
+
+
+@dataclass(frozen=True)
+class WebObject:
+    """One addressable resource of a website.
+
+    Attributes:
+        path: request path.
+        size: body size in bytes.
+        content_type: MIME type.
+        object_id: stable identity used by ground-truth accounting and
+            the adversary's size→identity map; defaults to the path.
+        think_time_range: server-side processing delay range; dynamic
+            content (the survey result HTML) is slow and variable,
+            static assets are fast.
+    """
+
+    path: str
+    size: int
+    content_type: str = "application/octet-stream"
+    object_id: str = ""
+    think_time_range: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"object size must be positive: {self.path}")
+        if not self.object_id:
+            object.__setattr__(self, "object_id", self.path)
+
+    def resource_spec(self) -> ResourceSpec:
+        """The server-side spec for this object."""
+        return ResourceSpec(
+            path=self.path,
+            body_bytes=self.size,
+            content_type=self.content_type,
+            object_id=self.object_id,
+            think_time_range=self.think_time_range,
+        )

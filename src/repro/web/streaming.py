@@ -1,0 +1,179 @@
+"""Adaptive-streaming traffic model (paper §VII, future work).
+
+    "Exploring the suitability of our technique for other types of web
+    traffic, such as streaming traffic, is an interesting direction."
+
+Models a DASH-like session over HTTP/2: the player downloads fixed-
+duration video segments from a bitrate ladder, ramping quality up and
+down (a simple ABR walk).  During buffer fill the player keeps several
+segment requests outstanding, so consecutive segments **multiplex** on
+the connection — and a passive observer sees merged bursts whose sizes
+straddle ladder rungs.  The secret is the per-segment quality sequence
+(what bitrate the user's network sustained, when they seeked, which
+rendition — the ADU-inference setting of the paper's reference [27]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.h2.client import H2Client, ResponseHandle
+from repro.h2.server import ResourceSpec
+from repro.simkernel.randomstream import RandomStreams
+from repro.simkernel.simulator import Simulator
+
+#: The bitrate ladder: rendition name → nominal bytes per segment.
+#: Adjacent rungs differ by ~1.8×, comfortably separable when segments
+#: are serialized, blurry when two segments merge into one burst.
+DEFAULT_LADDER: Dict[str, int] = {
+    "q240": 70_000,
+    "q360": 125_000,
+    "q480": 225_000,
+    "q720": 405_000,
+    "q1080": 730_000,
+}
+
+#: Segment wall-clock duration in seconds.
+SEGMENT_DURATION = 2.0
+
+
+def segment_path(index: int, quality: str) -> str:
+    return f"/video/seg{index:04d}_{quality}.m4s"
+
+
+@dataclass
+class StreamingSession:
+    """One viewing session: the ladder, per-segment qualities and sizes."""
+
+    qualities: Tuple[str, ...]
+    ladder: Dict[str, int]
+    sizes: Tuple[int, ...]  # actual per-segment bytes (VBR noise applied)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.qualities)
+
+    def resources(self) -> List[ResourceSpec]:
+        """Every segment of this session, at its actual size."""
+        return [
+            ResourceSpec(
+                path=segment_path(index, quality),
+                body_bytes=size,
+                content_type="video/iso.segment",
+                object_id=f"seg{index:04d}",
+                think_time_range=(0.0005, 0.003),
+            )
+            for index, (quality, size) in enumerate(
+                zip(self.qualities, self.sizes)
+            )
+        ]
+
+    def router(self, path: str) -> Optional[ResourceSpec]:
+        for resource in self.resources():
+            if resource.path == path:
+                return resource
+        return None
+
+
+def generate_session(
+    rng: RandomStreams,
+    segments: int = 12,
+    ladder: Optional[Dict[str, int]] = None,
+    vbr_noise: float = 0.08,
+) -> StreamingSession:
+    """Generate a session with an ABR-style quality walk.
+
+    The walk starts at the lowest rung, tends upward, and occasionally
+    drops (congestion events) — enough structure that the recovered
+    sequence is meaningful, enough randomness that it is a secret.
+    """
+    ladder = dict(ladder or DEFAULT_LADDER)
+    rungs = list(ladder)
+    level = 0
+    qualities: List[str] = []
+    stream = rng.stream("abr-walk")
+    for _ in range(segments):
+        qualities.append(rungs[level])
+        draw = stream.random()
+        if draw < 0.55 and level < len(rungs) - 1:
+            level += 1
+        elif draw > 0.85 and level > 0:
+            level -= max(1, int(draw * 10) % 3 + 1) - 1
+            level = max(0, level - 1)
+    sizes = []
+    for index, quality in enumerate(qualities):
+        nominal = ladder[quality]
+        noise = rng.uniform(f"vbr-{index}", 1 - vbr_noise, 1 + vbr_noise)
+        sizes.append(int(nominal * noise))
+    return StreamingSession(
+        qualities=tuple(qualities), ladder=ladder, sizes=tuple(sizes)
+    )
+
+
+class StreamingPlayer:
+    """A buffer-filling DASH player over one HTTP/2 connection.
+
+    Keeps up to ``pipeline_depth`` segment requests outstanding while
+    the buffer is below target — the prefetch pipelining that makes
+    consecutive segments multiplex — then settles into one request per
+    segment duration.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: H2Client,
+        session: StreamingSession,
+        pipeline_depth: int = 3,
+        buffer_target_segments: int = 6,
+    ) -> None:
+        self.sim = sim
+        self.client = client
+        self.session = session
+        self.pipeline_depth = pipeline_depth
+        self.buffer_target = buffer_target_segments
+        self._next_segment = 0
+        self._outstanding = 0
+        self._buffered = 0
+        self.handles: List[ResponseHandle] = []
+        self.finished = False
+        self.on_finished: Optional[Callable[[], None]] = None
+
+    def start(self) -> None:
+        self.client.on_ready = self._fill
+        self.client.connect()
+
+    def _fill(self) -> None:
+        """Issue requests up to the pipeline depth / buffer target."""
+        while (
+            not self.finished
+            and self._next_segment < self.session.segment_count
+            and self._outstanding < self.pipeline_depth
+            and self._buffered + self._outstanding < self.buffer_target
+        ):
+            index = self._next_segment
+            self._next_segment += 1
+            self._outstanding += 1
+            quality = self.session.qualities[index]
+            handle = self.client.get(segment_path(index, quality))
+            handle.on_complete = self._on_segment
+            self.handles.append(handle)
+
+    def _on_segment(self, handle: ResponseHandle) -> None:
+        self._outstanding -= 1
+        self._buffered += 1
+        if self._next_segment >= self.session.segment_count and \
+                self._outstanding == 0:
+            self.finished = True
+            if self.on_finished:
+                self.on_finished()
+            return
+        self._fill()
+        # Playback drains the buffer one segment per SEGMENT_DURATION.
+        self.sim.schedule(SEGMENT_DURATION, self._drain)
+
+    def _drain(self) -> None:
+        if self._buffered > 0:
+            self._buffered -= 1
+        self._fill()

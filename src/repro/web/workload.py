@@ -1,0 +1,47 @@
+"""Volunteer workload generation.
+
+The paper measured ≈500 volunteer survey sessions over three months;
+each volunteer's result page displays the 8 parties in a personal
+preference order, which is the ground truth the adversary's prediction
+is scored against.  :class:`VolunteerWorkload` generates seeded random
+orderings and builds the per-trial site instance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.simkernel.randomstream import RandomStreams
+from repro.web.isidewith import IsideWithSite, PARTIES, build_isidewith_site
+
+
+class VolunteerWorkload:
+    """Generates per-trial isidewith sessions with ground-truth labels."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        gap_noise: float = 0.15,
+    ) -> None:
+        self._master = RandomStreams(seed)
+        self.gap_noise = gap_noise
+
+    def party_order_for(self, trial: int) -> Tuple[str, ...]:
+        """The (seeded) preference order of volunteer ``trial``."""
+        rng = self._master.spawn(f"trial-{trial}")
+        return tuple(rng.shuffled("party-order", PARTIES))
+
+    def trial_rng(self, trial: int) -> RandomStreams:
+        """The independent random substream tree for one trial."""
+        return self._master.spawn(f"trial-{trial}")
+
+    def session(self, trial: int) -> IsideWithSite:
+        """Build the site + schedule for one volunteer session."""
+        rng = self.trial_rng(trial)
+        order = tuple(rng.shuffled("party-order", PARTIES))
+        return build_isidewith_site(order, gap_noise=self.gap_noise, rng=rng)
+
+    def sessions(self, count: int) -> Iterator[Tuple[int, IsideWithSite]]:
+        """Yield ``count`` (trial_index, session) pairs."""
+        for trial in range(count):
+            yield trial, self.session(trial)

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.link import Link, LinkConfig
+from repro.netsim.node import Host
+from repro.netsim.topology import build_adversary_path
+from repro.simkernel.randomstream import RandomStreams
+from repro.simkernel.simulator import Simulator
+from repro.simkernel.trace import TraceLog
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def trace() -> TraceLog:
+    return TraceLog()
+
+
+@pytest.fixture
+def rng() -> RandomStreams:
+    return RandomStreams(42)
+
+
+@pytest.fixture
+def wire(sim, trace, rng):
+    """Two hosts joined by a fast, lossless link (no middlebox)."""
+    link = Link(sim, LinkConfig(propagation_delay=0.001), rng=rng,
+                trace=trace, name="wire")
+    host_a = Host(sim, "a", trace=trace)
+    host_b = Host(sim, "b", trace=trace)
+    host_a.attach_link(link.a)
+    host_b.attach_link(link.b)
+    return sim, host_a, host_b
+
+
+@pytest.fixture
+def topology():
+    """The standard client—gateway—server path."""
+    return build_adversary_path(seed=1)

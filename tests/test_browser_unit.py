@@ -1,0 +1,139 @@
+"""Unit-level tests of browser behaviours on the real stack."""
+
+import pytest
+
+from repro.experiments.harness import TrialConfig, run_trial
+from repro.h2.client import H2Client
+from repro.h2.server import H2Server, ResourceSpec, ServerConfig
+from repro.netsim.capture import Direction
+from repro.netsim.middlebox import Verdict
+from repro.netsim.topology import build_adversary_path
+from repro.web.browser import Browser, BrowserConfig
+from repro.web.objects import WebObject
+from repro.web.site import LoadSchedule, ScheduledRequest, Website
+from repro.web.workload import VolunteerWorkload
+
+
+def _mini_setup(schedule_objects, browser_config=None, server_config=None):
+    objects = [WebObject(f"/o{i}", size) for i, size in
+               enumerate(schedule_objects)]
+    website = Website("mini", objects)
+    schedule = LoadSchedule([
+        ScheduledRequest(0.01 if i else 0.02, obj)
+        for i, obj in enumerate(objects)
+    ])
+    topology = build_adversary_path(seed=77)
+    server = H2Server(
+        topology.sim, topology.server, 443, website.router,
+        config=server_config or ServerConfig(), trace=topology.trace,
+    )
+    client = H2Client(
+        topology.sim, topology.client, topology.server.endpoint(443),
+        trace=topology.trace,
+    )
+    browser = Browser(topology.sim, client, schedule,
+                      config=browser_config or BrowserConfig(),
+                      trace=topology.trace)
+    return topology, server, client, browser
+
+
+def test_browser_completes_mini_page():
+    topology, server, client, browser = _mini_setup([5000, 8000, 3000])
+    browser.start()
+    topology.sim.run_until(10.0)
+    assert browser.page_complete
+    assert not browser.missing_objects
+
+
+def test_browser_double_start_raises():
+    topology, server, client, browser = _mini_setup([5000])
+    browser.start()
+    with pytest.raises(RuntimeError):
+        browser.start()
+
+
+def test_browser_requests_follow_schedule_order():
+    topology, server, client, browser = _mini_setup([5000, 8000, 3000])
+    browser.start()
+    topology.sim.run_until(10.0)
+    requested = [
+        record["path"]
+        for record in topology.trace.select(category="browser.request")
+    ]
+    assert requested == ["/o0", "/o1", "/o2"]
+
+
+def test_browser_resets_on_blackhole_and_recovers():
+    """Total s→c application blackhole → reset, retry, then recovery."""
+    topology, server, client, browser = _mini_setup(
+        [40_000, 30_000],
+        browser_config=BrowserConfig(reset_timeout=1.0, check_interval=0.1),
+    )
+
+    class _Blackhole:
+        def __init__(self):
+            self.active = True
+
+        def classify(self, packet, direction, now):
+            segment = packet.segment
+            records = getattr(segment, "tls_records", ()) if segment else ()
+            carries_app = any(
+                getattr(r, "content_type", 0) == 23 for r in records or ()
+            ) or packet.payload_bytes > 0
+            if self.active and carries_app:
+                return Verdict.drop()
+            return Verdict.forward()
+
+    hole = _Blackhole()
+    # Let the handshake through, then drop all server data for a while.
+    topology.sim.schedule(0.2, lambda: None)
+    browser.start()
+    topology.sim.run_until(0.15)
+    topology.middlebox.add_filter(Direction.SERVER_TO_CLIENT, hole)
+    topology.sim.schedule(3.0, lambda: setattr(hole, "active", False))
+    topology.sim.run_until(30.0)
+    assert browser.resets_sent >= 1
+    assert browser.page_complete
+
+
+def test_browser_gives_up_after_max_resets():
+    topology, server, client, browser = _mini_setup(
+        [40_000],
+        browser_config=BrowserConfig(
+            reset_timeout=0.5, check_interval=0.1, max_resets=2,
+            reset_backoff=1.0,
+        ),
+    )
+
+    class _ForeverHole:
+        def classify(self, packet, direction, now):
+            if packet.payload_bytes > 0:
+                return Verdict.drop()
+            return Verdict.forward()
+
+    browser.start()
+    topology.sim.run_until(0.15)
+    topology.middlebox.add_filter(Direction.SERVER_TO_CLIENT, _ForeverHole())
+    topology.sim.run_until(60.0)
+    assert browser.broken
+    assert browser.resets_sent == 2
+
+
+def test_browser_reset_timeout_backs_off():
+    config = BrowserConfig(reset_timeout=1.0, reset_backoff=3.0)
+    topology, server, client, browser = _mini_setup([5000], config)
+    browser._reset_and_retry()
+    assert browser._current_reset_timeout == pytest.approx(3.0)
+    browser._reset_and_retry()
+    assert browser._current_reset_timeout == pytest.approx(9.0)
+
+
+def test_harness_schedule_override_used():
+    workload = VolunteerWorkload(seed=7)
+    site = workload.session(0)
+    shortened = LoadSchedule(list(site.schedule)[:10])
+    outcome = run_trial(
+        0, workload, TrialConfig(schedule_override=shortened, horizon=20.0)
+    )
+    assert outcome.completed
+    assert len(outcome.monitor.get_requests()) == 10

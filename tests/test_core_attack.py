@@ -1,0 +1,189 @@
+"""Tests for the adversary state machine, sequence scoring and defense."""
+
+import pytest
+
+from repro.core.adversary import Adversary, AdversaryConfig, AttackPhase
+from repro.core.controller import NetworkController
+from repro.core.defenses import PriorityShuffleDefense
+from repro.core.sequence import ObjectVerdict, SequenceAttack
+from repro.experiments.harness import TrialConfig, run_trial
+from repro.netsim.topology import build_adversary_path
+from repro.simkernel.randomstream import RandomStreams
+from repro.web.isidewith import HTML_OBJECT_ID, PARTIES, build_isidewith_site
+from repro.web.workload import VolunteerWorkload
+
+
+# -- AdversaryConfig -----------------------------------------------------------
+
+def test_adversary_config_defaults_match_paper():
+    config = AdversaryConfig()
+    assert config.initial_jitter == 0.050
+    assert config.escalated_jitter == 0.080
+    assert config.drop_rate == 0.80
+    assert config.drop_duration == 6.0
+    assert config.trigger_get_index == 6
+    assert config.bandwidth_limit == 800e6
+
+
+def test_adversary_config_validation():
+    with pytest.raises(ValueError):
+        AdversaryConfig(initial_jitter=-1)
+    with pytest.raises(ValueError):
+        AdversaryConfig(drop_rate=2.0)
+    with pytest.raises(ValueError):
+        AdversaryConfig(trigger_get_index=0)
+    with pytest.raises(ValueError):
+        AdversaryConfig(jitter_mode="bogus")
+
+
+# -- Adversary state machine ------------------------------------------------------
+
+def _armed_adversary(config=None):
+    topology = build_adversary_path(seed=9)
+    controller = NetworkController(
+        topology.sim, topology.middlebox, RandomStreams(1)
+    )
+    adversary = Adversary(controller, config or AdversaryConfig())
+    adversary.arm()
+    return topology, controller, adversary
+
+
+def test_arm_installs_spacing_and_trigger():
+    topology, controller, adversary = _armed_adversary()
+    assert adversary.phase is AttackPhase.SPACING
+    assert controller.spacing_filter is not None
+    assert controller.spacing_filter.spacing == 0.050
+
+
+def test_double_arm_raises():
+    topology, controller, adversary = _armed_adversary()
+    with pytest.raises(RuntimeError):
+        adversary.arm()
+
+
+def test_trigger_starts_drops_and_throttle():
+    topology, controller, adversary = _armed_adversary()
+    adversary._on_trigger(now=topology.sim.now)
+    assert adversary.phase is AttackPhase.DROPPING
+    assert controller.drop_filter is not None
+    assert controller.drop_filter.active(topology.sim.now)
+    assert adversary.trigger_time is not None
+
+
+def test_escalation_after_drop_window():
+    topology, controller, adversary = _armed_adversary()
+    adversary._on_trigger(now=topology.sim.now)
+    topology.sim.run_until(7.0)
+    assert adversary.phase is AttackPhase.ESCALATED
+    assert controller.spacing_filter.spacing == 0.080
+    assert adversary.escalation_time is not None
+
+
+def test_drops_disabled_goes_straight_to_escalation():
+    config = AdversaryConfig(enable_drops=False)
+    topology, controller, adversary = _armed_adversary(config)
+    adversary._on_trigger(now=topology.sim.now)
+    assert adversary.phase is AttackPhase.ESCALATED
+
+
+def test_ideal_mode_uses_noise_free_spacing():
+    config = AdversaryConfig(jitter_mode="ideal")
+    topology, controller, adversary = _armed_adversary(config)
+    assert controller.spacing_filter.noise_fraction == 0.0
+
+
+def test_random_mode_uses_jitter_filter():
+    config = AdversaryConfig(jitter_mode="random")
+    topology, controller, adversary = _armed_adversary(config)
+    assert controller.jitter_filter is not None
+    assert controller.spacing_filter is None
+
+
+# -- ObjectVerdict -----------------------------------------------------------------
+
+def test_verdict_success_requires_both():
+    verdict = ObjectVerdict("x", identified=True, degree_zero=False,
+                            degree_zero_original=False, original_degree=1.0)
+    assert not verdict.success
+    verdict = ObjectVerdict("x", identified=True, degree_zero=True,
+                            degree_zero_original=True, original_degree=0.0)
+    assert verdict.success
+    assert not verdict.success_via_duplicate_only
+
+
+def test_verdict_duplicate_only_flag():
+    verdict = ObjectVerdict("x", identified=True, degree_zero=True,
+                            degree_zero_original=False, original_degree=1.0)
+    assert verdict.success
+    assert verdict.success_via_duplicate_only
+
+
+# -- End-to-end sanity ---------------------------------------------------------------
+
+def test_full_attack_trial_end_to_end():
+    workload = VolunteerWorkload(seed=7)
+    outcome = run_trial(0, workload, TrialConfig(adversary=AdversaryConfig()))
+    assert outcome.completed
+    assert outcome.adversary.trigger_time is not None
+    analysis = outcome.analyze()
+    # The single-object attack on the HTML succeeds (Table II row 3).
+    assert analysis.single_object[HTML_OBJECT_ID].success
+    # The sequence prediction recovers most of the image order.
+    correct = sum(
+        1 for object_id in analysis.sequence_truth
+        if analysis.sequence_correct.get(object_id)
+    )
+    assert correct >= 5
+
+
+def test_baseline_trial_attack_fails():
+    """Without the adversary, multiplexing protects the HTML."""
+    workload = VolunteerWorkload(seed=7)
+    successes = 0
+    for trial in range(3):
+        outcome = run_trial(trial, workload, TrialConfig())
+        analysis = outcome.analyze()
+        if analysis.single_object[HTML_OBJECT_ID].success:
+            successes += 1
+    assert successes <= 1  # occasionally non-multiplexed by chance
+
+
+# -- PriorityShuffleDefense -----------------------------------------------------------
+
+def test_defense_shuffles_wire_order_only():
+    site = build_isidewith_site(PARTIES)
+    rng = RandomStreams(13)
+    defense = PriorityShuffleDefense()
+    schedule, wire_order = defense.apply(site, rng)
+    assert sorted(wire_order) == sorted(PARTIES)
+    assert len(schedule) == len(site.schedule)
+    # The display (ground-truth) order is untouched.
+    assert site.party_order == tuple(PARTIES)
+    # Gaps of the image slots are preserved (timing signature unchanged).
+    for index in site.image_indices:
+        assert schedule[index].gap == site.schedule[index].gap
+    # The slots still hold emblem objects, still script-triggered (the
+    # reload wave behaviour must survive the shuffle).
+    for index in site.image_indices:
+        assert schedule[index].obj.object_id.startswith("emblem-")
+        assert schedule[index].script_triggered
+
+
+def test_defense_weights_randomized():
+    site = build_isidewith_site(PARTIES)
+    rng = RandomStreams(13)
+    schedule, _ = PriorityShuffleDefense().apply(site, rng)
+    weights = {
+        schedule[index].priority_weight for index in site.image_indices
+    }
+    assert len(weights) > 1
+    assert all(1 <= weight <= 256 for weight in weights if weight)
+
+
+def test_defense_no_shuffle_mode():
+    site = build_isidewith_site(PARTIES)
+    rng = RandomStreams(13)
+    defense = PriorityShuffleDefense(shuffle_order=False,
+                                     randomize_weights=False)
+    schedule, wire_order = defense.apply(site, rng)
+    assert wire_order == tuple(PARTIES)

@@ -1,0 +1,178 @@
+"""Unit tests for the traffic monitor and size estimator."""
+
+import pytest
+
+from repro.core.estimator import ObjectEstimate, SizeEstimator
+from repro.core.monitor import (
+    GET_PAYLOAD_THRESHOLD,
+    PREFACE_FLIGHT_BYTES,
+    TrafficMonitor,
+)
+from repro.netsim.capture import CaptureLog, Direction, PacketRecord
+
+
+def _packet(time, payload, direction=Direction.SERVER_TO_CLIENT,
+            content_types=(23,), seq=0, mtu_full=None, dropped=False):
+    wire = 44 + payload
+    if mtu_full is True:
+        wire = 1500
+    elif mtu_full is False:
+        wire = min(wire, 1499)
+    return PacketRecord(
+        time=time, direction=direction, packet_id=0, wire_size=wire,
+        payload_bytes=payload, flags=(), seq=seq, ack=0,
+        tls_content_types=tuple(content_types), dropped_by_adversary=dropped,
+    )
+
+
+# -- estimator ---------------------------------------------------------------
+
+def test_estimator_single_burst():
+    packets = [
+        _packet(0.000, 1448, mtu_full=True),
+        _packet(0.001, 1448, mtu_full=True),
+        _packet(0.002, 600, mtu_full=False),
+    ]
+    estimates = SizeEstimator().estimate(packets)
+    assert len(estimates) == 1
+    assert estimates[0].payload_bytes == 1448 + 1448 + 600
+    assert estimates[0].packets == 3
+
+
+def test_estimator_delimiter_plus_silence_splits():
+    packets = [
+        _packet(0.000, 600, mtu_full=False),
+        _packet(0.100, 700, mtu_full=False),
+    ]
+    estimates = SizeEstimator().estimate(packets)
+    assert [e.payload_bytes for e in estimates] == [600, 700]
+
+
+def test_estimator_sub_mtu_without_silence_does_not_split():
+    packets = [
+        _packet(0.0000, 1448, mtu_full=True),
+        _packet(0.0004, 600, mtu_full=False),   # spurt boundary
+        _packet(0.0008, 1448, mtu_full=True),
+        _packet(0.0012, 500, mtu_full=False),
+    ]
+    estimates = SizeEstimator().estimate(packets)
+    assert len(estimates) == 1
+
+
+def test_estimator_full_mtu_stall_does_not_split():
+    """A cwnd stall (~1 RTT) after a full packet keeps the burst whole."""
+    packets = [
+        _packet(0.000, 1448, mtu_full=True),
+        _packet(0.031, 1448, mtu_full=True),  # one RTT later
+        _packet(0.032, 500, mtu_full=False),
+    ]
+    estimates = SizeEstimator().estimate(packets)
+    assert len(estimates) == 1
+
+
+def test_estimator_long_idle_splits_even_full_mtu():
+    packets = [
+        _packet(0.000, 1448, mtu_full=True),
+        _packet(0.200, 1448, mtu_full=True),
+        _packet(0.201, 500, mtu_full=False),
+    ]
+    estimates = SizeEstimator().estimate(packets)
+    assert len(estimates) == 2
+
+
+def test_estimator_discards_tiny_bursts():
+    packets = [_packet(0.0, 100, mtu_full=False)]
+    assert SizeEstimator(min_object_bytes=400).estimate(packets) == []
+
+
+def test_estimator_request_cut():
+    packets = [
+        _packet(0.000, 600, mtu_full=False),
+        _packet(0.030, 700, mtu_full=False),
+    ]
+    # A request at 0.010 delimits the responses despite the short gap.
+    estimates = SizeEstimator().estimate(packets, request_times=[0.010])
+    assert [e.payload_bytes for e in estimates] == [600, 700]
+
+
+def test_estimator_empty_input():
+    assert SizeEstimator().estimate([]) == []
+
+
+def test_estimator_invalid_gaps():
+    with pytest.raises(ValueError):
+        SizeEstimator(delimiter_gap=0.1, idle_gap=0.05)
+
+
+def test_estimate_duration():
+    estimate = ObjectEstimate(1.0, 1.5, 1000, 3, 2)
+    assert estimate.duration == 0.5
+
+
+# -- monitor -------------------------------------------------------------------
+
+def _capture_with_gets():
+    log = CaptureLog()
+    c2s = Direction.CLIENT_TO_SERVER
+    # Preface flight: 53 + 50 B (skipped by the byte allowance).
+    log.append(_packet(0.00, 53, c2s, seq=0))
+    log.append(_packet(0.00, 50, c2s, seq=53))
+    log.append(_packet(0.01, 42, c2s, seq=103))   # WINDOW_UPDATE
+    # Three GETs.
+    log.append(_packet(0.10, 150, c2s, seq=145))
+    log.append(_packet(0.20, 60, c2s, seq=295))
+    log.append(_packet(0.30, 70, c2s, seq=355))
+    return log
+
+
+def test_monitor_counts_gets_skipping_preface():
+    monitor = TrafficMonitor(_capture_with_gets())
+    gets = monitor.get_requests()
+    assert [g.index for g in gets] == [1, 2, 3]
+    assert monitor.nth_get_time(1) == pytest.approx(0.10)
+    assert monitor.nth_get_time(9) is None
+
+
+def test_monitor_dedupes_retransmitted_gets():
+    log = _capture_with_gets()
+    # Retransmission of the 2nd GET (old sequence number).
+    log.append(_packet(0.40, 60, Direction.CLIENT_TO_SERVER, seq=295))
+    monitor = TrafficMonitor(log)
+    assert len(monitor.get_requests()) == 3
+
+
+def test_monitor_ignores_small_control_records():
+    log = _capture_with_gets()
+    log.append(_packet(0.50, 42, Direction.CLIENT_TO_SERVER, seq=425))
+    monitor = TrafficMonitor(log)
+    assert len(monitor.get_requests()) == 3
+
+
+def test_monitor_ignores_dropped_packets():
+    log = _capture_with_gets()
+    log.append(
+        _packet(0.50, 80, Direction.CLIENT_TO_SERVER, seq=425, dropped=True)
+    )
+    monitor = TrafficMonitor(log)
+    assert len(monitor.get_requests()) == 3
+
+
+def test_monitor_inter_get_gaps():
+    monitor = TrafficMonitor(_capture_with_gets())
+    gaps = monitor.inter_get_gaps()
+    assert gaps == [pytest.approx(0.1), pytest.approx(0.1)]
+
+
+def test_monitor_response_packets_include_continuations():
+    log = CaptureLog()
+    log.append(_packet(0.0, 1448, content_types=(23,)))
+    log.append(_packet(0.001, 638, content_types=()))  # continuation
+    log.append(_packet(0.002, 90, content_types=(22,)))  # handshake
+    monitor = TrafficMonitor(log)
+    packets = monitor.response_packets()
+    assert len(packets) == 2
+
+
+def test_monitor_get_threshold_boundaries():
+    assert GET_PAYLOAD_THRESHOLD == 44
+    assert PREFACE_FLIGHT_BYTES == 120

@@ -1,0 +1,98 @@
+"""Tests for the §VII learning-based trigger."""
+
+import pytest
+
+from repro.core.monitor import GetRequestObservation
+from repro.core.trigger import (
+    ClassifierTrigger,
+    HTML_LABEL,
+    HtmlGetClassifier,
+    get_features,
+)
+from repro.experiments.trigger_study import cached_variant
+from repro.simkernel.randomstream import RandomStreams
+from repro.web.isidewith import HTML_OBJECT_ID, PARTIES, build_isidewith_site
+
+
+def _obs(index, time, payload):
+    return GetRequestObservation(index=index, time=time, payload_bytes=payload)
+
+
+def _session(html_position=3, html_gap=0.5):
+    """A synthetic GET sequence: small gaps, one long-gap large GET."""
+    observations = []
+    time = 0.0
+    for position in range(6):
+        if position == html_position:
+            time += html_gap
+            payload = 160
+        else:
+            time += 0.05
+            payload = 60
+        observations.append(_obs(position + 1, time, payload))
+    return observations
+
+
+def test_get_features_gaps():
+    features = get_features(_session())
+    assert features[0][0] == 0.0
+    assert features[3][0] == pytest.approx(0.5)
+    assert features[3][1] == 160.0
+
+
+def test_classifier_learns_html_signature():
+    sessions = [_session(html_position=p) for p in (2, 3, 4, 5)]
+    classifier = HtmlGetClassifier(k=1).fit(sessions, [2, 3, 4, 5])
+    assert classifier.is_html(gap=0.5, payload_bytes=160)
+    assert not classifier.is_html(gap=0.05, payload_bytes=60)
+
+
+def test_classifier_predict_index():
+    sessions = [_session(html_position=p) for p in (2, 3, 4, 5)]
+    classifier = HtmlGetClassifier(k=1).fit(sessions, [2, 3, 4, 5])
+    assert classifier.predict_index(_session(html_position=4)) == 4
+
+
+def test_classifier_untrained_raises():
+    with pytest.raises(RuntimeError):
+        HtmlGetClassifier().is_html(0.5, 160)
+
+
+def test_classifier_fit_length_mismatch():
+    with pytest.raises(ValueError):
+        HtmlGetClassifier().fit([_session()], [1, 2])
+
+
+def test_live_trigger_fires_once():
+    sessions = [_session(html_position=p) for p in (2, 3, 4, 5)]
+    classifier = HtmlGetClassifier(k=1).fit(sessions, [2, 3, 4, 5])
+    fired = []
+    trigger = ClassifierTrigger(classifier, fired.append)
+    time = 0.0
+    for position in range(6):
+        gap = 0.5 if position == 3 else 0.05
+        payload = 160 if position == 3 else 60
+        time += gap
+        trigger.observe(position + 1, time, payload)
+    assert len(fired) == 1
+    assert trigger.fired_index == 4  # the 4th GET (1-based)
+
+
+def test_cached_variant_moves_html_earlier():
+    site = build_isidewith_site(PARTIES)
+    rng = RandomStreams(5)
+    schedule, html_index = cached_variant(site, rng, cache_probability=0.9)
+    assert html_index < site.html_index
+    assert schedule[html_index].obj.object_id == HTML_OBJECT_ID
+    # Total nominal time to the HTML is preserved (gaps folded).
+    original = sum(r.gap for r in site.schedule[: site.html_index + 1])
+    variant = sum(r.gap for r in schedule[: html_index + 1])
+    assert variant == pytest.approx(original)
+
+
+def test_cached_variant_zero_probability_identity():
+    site = build_isidewith_site(PARTIES)
+    rng = RandomStreams(5)
+    schedule, html_index = cached_variant(site, rng, cache_probability=0.0)
+    assert html_index == site.html_index
+    assert len(schedule) == len(site.schedule)

@@ -1,0 +1,63 @@
+"""Smoke tests for the experiment modules (small trial counts)."""
+
+import pytest
+
+from repro.experiments import ablations, baseline, delay_ablation, fig1
+from repro.experiments.report import format_table, percentage
+
+
+def test_format_table_alignment():
+    text = format_table(["col", "x"], [["a", "1"], ["bb", "22"]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "col" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a", "b"], [])
+    assert "a" in text
+
+
+def test_percentage_zero_denominator():
+    assert percentage(1, 0) == 0.0
+    assert percentage(1, 4) == 25.0
+
+
+def test_fig1_sequential_identifies_both():
+    result = fig1.run(seed=7)
+    assert result.sequential.both_identified
+    assert not result.pipelined.both_identified
+    assert "Figure 1" in result.render()
+
+
+def test_baseline_experiment_small():
+    result = baseline.run(trials=4, seed=7)
+    assert result.trials == 4
+    assert 0.0 <= result.html_mean_degree <= 1.0
+    assert result.image_mean_degree > 0.5  # heavily multiplexed
+    assert "baseline" in result.render()
+
+
+def test_delay_ablation_gaps_unchanged():
+    result = delay_ablation.run(trials=3, seed=7, delays=(0.0, 0.1))
+    rows = result.rows_data
+    assert rows[0].mean_get_gap_ms == pytest.approx(
+        rows[1].mean_get_gap_ms, rel=0.02
+    )
+    assert rows[0].not_multiplexed_pct == rows[1].not_multiplexed_pct
+
+
+def test_quirk_ablation_shapes():
+    result = ablations.run_quirk(trials=4, seed=7)
+    assert len(result.rows_data) == 2
+    assert "duplicate" in result.render()
+
+
+def test_h1_baseline_ablation():
+    result = ablations.run_h1_baseline(trials=2, seed=7)
+    rows = {row[0]: row[1] for row in result.rows_data}
+    h1_pct = float(rows["HTTP/1.1 (sequential)"].rstrip("%"))
+    h2_pct = float(rows["HTTP/2 (multiplexed)"].rstrip("%"))
+    assert h1_pct > h2_pct  # the paper's core premise
+    assert h1_pct >= 75.0

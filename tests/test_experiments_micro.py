@@ -1,0 +1,71 @@
+"""Micro-runs of the heavier experiment modules (tiny trial counts) —
+ensures every experiment entry point stays runnable."""
+
+import pytest
+
+from repro.experiments import (
+    fig5,
+    fig6,
+    generalization,
+    partial_mux,
+    sweeps,
+    table1,
+    table2,
+    trigger_study,
+)
+
+
+def test_table1_micro():
+    result = table1.run(trials=2, seed=7, delays=(0.0, 0.05))
+    assert len(result.rows_data) == 2
+    assert result.rows_data[0].trials == 2
+    assert "Table I" in result.render()
+
+
+def test_table2_micro():
+    result = table2.run(trials=2, seed=7)
+    assert result.trials == 2
+    text = result.render()
+    assert "one object at a time" in text
+    assert "I8" in text
+
+
+def test_fig5_micro():
+    result = fig5.run(trials=2, seed=7, bandwidths_mbps=(1000, 1))
+    assert len(result.rows_data) == 2
+    assert "bandwidth" in result.render()
+
+
+def test_fig6_micro():
+    result = fig6.run(trials=2, seed=7, drop_rates=(0.8,))
+    assert len(result.rows_data) == 1
+    row = result.rows_data[0]
+    assert row.trials == 2
+
+
+def test_partial_mux_micro():
+    result = partial_mux.run(trials=2, seed=7)
+    rows = {row[0]: float(row[1].rstrip("%")) for row in result.rows_data}
+    assert rows["+ subset-sum blob explanation"] >= \
+        rows["exact size match only"]
+
+
+def test_trigger_study_micro():
+    result = trigger_study.run(trials=3, training_trials=4, seed=7)
+    assert len(result.rows_data) == 2
+    assert "trigger" in result.render()
+
+
+def test_generalization_micro():
+    result = generalization.run(
+        trials=2, seed=7, profiles=[("tiny", 10, 0)]
+    )
+    assert len(result.rows_data) == 1
+    assert "generated websites" in result.render()
+
+
+def test_sweep_render_includes_chart():
+    result = sweeps.escalation_curve(trials=2, seed=7, spacings_ms=(80, 160))
+    text = result.render()
+    assert "escalated spacing" in text
+    assert "█" in text or "▏" in text

@@ -1,0 +1,93 @@
+"""Tests for the fingerprinting feature extraction and classifier."""
+
+import pytest
+
+from repro.core.fingerprint import (
+    PageFingerprinter,
+    TOP_BURSTS,
+    trace_features,
+)
+from repro.core.monitor import TrafficMonitor
+from repro.experiments.fingerprint_study import (
+    PAGE_TOTAL_BYTES,
+    build_closed_world,
+    _page_schedule,
+    _visit,
+)
+from repro.netsim.capture import CaptureLog, Direction, PacketRecord
+from repro.simkernel.randomstream import RandomStreams
+
+
+def _burst(log, start, sizes):
+    """Append one burst (full packets then a sub-MTU delimiter)."""
+    time = start
+    for size in sizes:
+        log.append(PacketRecord(
+            time=time, direction=Direction.SERVER_TO_CLIENT, packet_id=0,
+            wire_size=1500 if size >= 1448 else 44 + size,
+            payload_bytes=size, flags=(), seq=0, ack=0,
+            tls_content_types=(23,),
+        ))
+        time += 0.0005
+    return time
+
+
+def test_trace_features_shape_and_order():
+    log = CaptureLog()
+    _burst(log, 0.0, [1448, 1448, 600])
+    _burst(log, 1.0, [1448, 200])
+    features = trace_features(TrafficMonitor(log))
+    assert len(features) == TOP_BURSTS + 2
+    assert features[0] == 1448 + 1448 + 600  # largest first
+    assert features[1] == 1448 + 200
+    assert features[2] == 0.0  # padding
+    assert features[-2] == features[0] + features[1]  # total
+    assert features[-1] == 2.0  # burst count
+
+
+def test_trace_features_dedups_replayed_sizes():
+    log = CaptureLog()
+    _burst(log, 0.0, [1448, 1448, 600])
+    _burst(log, 1.0, [1448, 1448, 600])  # duplicate serving
+    _burst(log, 2.0, [1448, 200])
+    features = trace_features(TrafficMonitor(log))
+    assert features[-1] == 2.0  # duplicate folded away
+
+
+def test_fingerprinter_classifies():
+    fingerprinter = PageFingerprinter(k=1).fit(
+        [[100.0, 0.0], [900.0, 0.0], [100.0, 1.0]],
+        ["a", "b", "a"],
+    )
+    assert fingerprinter.predict([110.0, 0.5]) == "a"
+    assert fingerprinter.accuracy([[890.0, 0.0]], ["b"]) == 1.0
+
+
+def test_fingerprinter_untrained_raises():
+    with pytest.raises(RuntimeError):
+        PageFingerprinter().predict([1.0])
+    with pytest.raises(RuntimeError):
+        PageFingerprinter().accuracy([[1.0]], ["a"])
+
+
+def test_closed_world_pages_equal_totals():
+    world = build_closed_world(RandomStreams(3), pages=4)
+    totals = {
+        sum(obj.size for obj in website.objects.values())
+        for website in world.values()
+    }
+    assert len(world) == 4
+    assert totals == {PAGE_TOTAL_BYTES}
+    # Compositions differ.
+    compositions = {
+        tuple(sorted(obj.size for obj in website.objects.values()))
+        for website in world.values()
+    }
+    assert len(compositions) == 4
+
+
+def test_visit_produces_trace():
+    world = build_closed_world(RandomStreams(3), pages=2)
+    website = next(iter(world.values()))
+    monitor = _visit(website, RandomStreams(11), attacked=False)
+    assert len(monitor.response_packets()) > 50

@@ -1,0 +1,253 @@
+"""Unit tests for HTTP/2 frames, settings, flow control, priority."""
+
+import pytest
+
+from repro.h2.errors import H2Error, H2ErrorCode
+from repro.h2.flowcontrol import FlowControlWindow
+from repro.h2.frames import (
+    ContinuationFrame,
+    DataFrame,
+    FRAME_HEADER_BYTES,
+    GoAwayFrame,
+    HeadersFrame,
+    PingFrame,
+    PriorityFrame,
+    PushPromiseFrame,
+    RstStreamFrame,
+    SettingsFrame,
+    WindowUpdateFrame,
+)
+from repro.h2.priority import PriorityTree
+from repro.h2.settings import H2Settings, firefox_like_settings
+from repro.hpack.codec import HpackEncoder
+
+
+# -- frames --------------------------------------------------------------------
+
+def test_data_frame_wire_length():
+    frame = DataFrame(stream_id=1, data_bytes=1000)
+    assert frame.wire_length == FRAME_HEADER_BYTES + 1000
+
+
+def test_data_frame_padding_adds_length_byte():
+    frame = DataFrame(stream_id=1, data_bytes=100, padding=20)
+    assert frame.payload_length == 100 + 1 + 20
+
+
+def test_data_frame_requires_stream():
+    with pytest.raises(ValueError):
+        DataFrame(stream_id=0, data_bytes=1)
+
+
+def test_headers_frame_block_size():
+    block = HpackEncoder().encode([(":method", "GET"), (":path", "/x")])
+    frame = HeadersFrame(stream_id=1, block=block)
+    assert frame.payload_length == block.encoded_length
+
+
+def test_headers_frame_priority_adds_five_octets():
+    frame = HeadersFrame(stream_id=1, priority_weight=10)
+    assert frame.payload_length == 5
+
+
+def test_priority_frame():
+    frame = PriorityFrame(stream_id=3, depends_on=1, weight=100)
+    assert frame.payload_length == 5
+    with pytest.raises(ValueError):
+        PriorityFrame(stream_id=3, weight=0)
+    with pytest.raises(ValueError):
+        PriorityFrame(stream_id=0)
+
+
+def test_rst_stream_frame():
+    frame = RstStreamFrame(stream_id=5, error_code=H2ErrorCode.CANCEL)
+    assert frame.payload_length == 4
+    with pytest.raises(ValueError):
+        RstStreamFrame(stream_id=0)
+
+
+def test_settings_frame_sizing():
+    assert SettingsFrame(settings={1: 4096, 4: 65535}).payload_length == 12
+    assert SettingsFrame(ack=True).payload_length == 0
+    with pytest.raises(ValueError):
+        SettingsFrame(ack=True, settings={1: 1})
+    with pytest.raises(ValueError):
+        SettingsFrame(stream_id=3)
+
+
+def test_ping_goaway_window_update():
+    assert PingFrame().payload_length == 8
+    assert GoAwayFrame(debug_bytes=10).payload_length == 18
+    assert WindowUpdateFrame(stream_id=0, increment=100).payload_length == 4
+    with pytest.raises(ValueError):
+        WindowUpdateFrame(increment=0)
+
+
+def test_push_promise_frame():
+    frame = PushPromiseFrame(stream_id=1, promised_stream_id=2)
+    assert frame.payload_length == 4
+    with pytest.raises(ValueError):
+        PushPromiseFrame(stream_id=1, promised_stream_id=0)
+
+
+def test_continuation_frame():
+    assert ContinuationFrame(stream_id=1, block_bytes=50).payload_length == 50
+
+
+def test_frame_type_name():
+    assert DataFrame(stream_id=1, data_bytes=1).type_name == "DATA"
+    assert RstStreamFrame(stream_id=1).type_name == "RSTSTREAM"
+
+
+# -- settings --------------------------------------------------------------------
+
+def test_settings_defaults_match_rfc():
+    settings = H2Settings()
+    assert settings.header_table_size == 4096
+    assert settings.initial_window_size == 65535
+    assert settings.max_frame_size == 16384
+
+
+def test_settings_changed_from():
+    changed = firefox_like_settings().changed_from(H2Settings())
+    from repro.h2.settings import (
+        SETTINGS_INITIAL_WINDOW_SIZE,
+        SETTINGS_MAX_CONCURRENT_STREAMS,
+    )
+    assert SETTINGS_INITIAL_WINDOW_SIZE in changed
+    assert SETTINGS_MAX_CONCURRENT_STREAMS in changed
+    assert len(changed) == 2
+
+
+def test_settings_validation():
+    with pytest.raises(ValueError):
+        H2Settings(initial_window_size=0)
+    with pytest.raises(ValueError):
+        H2Settings(max_frame_size=100)
+    with pytest.raises(ValueError):
+        H2Settings(max_concurrent_streams=0)
+
+
+# -- flow control ----------------------------------------------------------------
+
+def test_window_consume_and_replenish():
+    window = FlowControlWindow(1000)
+    window.consume(400)
+    assert window.available == 600
+    window.replenish(200)
+    assert window.available == 800
+
+
+def test_window_overconsume_raises():
+    window = FlowControlWindow(100)
+    with pytest.raises(H2Error) as excinfo:
+        window.consume(101)
+    assert excinfo.value.code is H2ErrorCode.FLOW_CONTROL_ERROR
+
+
+def test_window_overflow_raises():
+    window = FlowControlWindow((1 << 31) - 1)
+    with pytest.raises(H2Error):
+        window.replenish(1)
+
+
+def test_window_invalid_args():
+    with pytest.raises(ValueError):
+        FlowControlWindow(-1)
+    window = FlowControlWindow(10)
+    with pytest.raises(ValueError):
+        window.consume(-1)
+    with pytest.raises(ValueError):
+        window.replenish(0)
+
+
+def test_window_adjust_initial():
+    window = FlowControlWindow(1000)
+    window.adjust_initial(500)
+    assert window.available == 1500
+    window.adjust_initial(-1200)
+    assert window.available == 300
+
+
+# -- priority tree ------------------------------------------------------------------
+
+def test_priority_single_stream_gets_everything():
+    tree = PriorityTree()
+    tree.insert(1)
+    assert tree.allocate({1}) == [(1, 1.0)]
+
+
+def test_priority_weight_proportional_shares():
+    tree = PriorityTree()
+    tree.insert(1, weight=100)
+    tree.insert(3, weight=50)
+    shares = dict(tree.allocate({1, 3}))
+    assert shares[1] == pytest.approx(2 / 3)
+    assert shares[3] == pytest.approx(1 / 3)
+
+
+def test_priority_parent_blocks_children():
+    tree = PriorityTree()
+    tree.insert(1)
+    tree.insert(3, depends_on=1)
+    shares = dict(tree.allocate({1, 3}))
+    assert shares == {1: 1.0}
+
+
+def test_priority_child_inherits_when_parent_idle():
+    tree = PriorityTree()
+    tree.insert(1)
+    tree.insert(3, depends_on=1)
+    shares = dict(tree.allocate({3}))
+    assert shares == {3: 1.0}
+
+
+def test_priority_exclusive_adopts_siblings():
+    tree = PriorityTree()
+    tree.insert(1)
+    tree.insert(3)
+    tree.insert(5, exclusive=True)
+    assert tree.parent_of(1) == 5
+    assert tree.parent_of(3) == 5
+    assert tree.parent_of(5) == 0
+
+
+def test_priority_remove_reparents():
+    tree = PriorityTree()
+    tree.insert(1)
+    tree.insert(3, depends_on=1)
+    tree.remove(1)
+    assert tree.parent_of(3) == 0
+
+
+def test_priority_reprioritize_moves():
+    tree = PriorityTree()
+    tree.insert(1)
+    tree.insert(3)
+    tree.reprioritize(3, depends_on=1, weight=32)
+    assert tree.parent_of(3) == 1
+    assert tree.weight_of(3) == 32
+
+
+def test_priority_dependency_cycle_resolved():
+    tree = PriorityTree()
+    tree.insert(1)
+    tree.insert(3, depends_on=1)
+    # 1 now depends on its descendant 3: RFC moves 3 up first.
+    tree.reprioritize(1, depends_on=3, weight=16)
+    assert tree.parent_of(1) == 3
+    assert tree.parent_of(3) == 0
+
+
+def test_priority_insert_stream_zero_rejected():
+    tree = PriorityTree()
+    with pytest.raises(ValueError):
+        tree.insert(0)
+
+
+def test_priority_allocation_sums_to_one():
+    tree = PriorityTree()
+    for stream_id in (1, 3, 5, 7):
+        tree.insert(stream_id, weight=stream_id * 10)
+    shares = dict(tree.allocate({1, 3, 5, 7}))
+    assert sum(shares.values()) == pytest.approx(1.0)

@@ -1,0 +1,134 @@
+"""Tests for HTTP/2 server push and the §VII push defense."""
+
+import pytest
+
+from repro.core.defenses import ServerPushDefense
+from repro.core.metrics import MultiplexingReport
+from repro.experiments.harness import TrialConfig, run_trial
+from repro.h2.client import H2Client
+from repro.h2.errors import H2Error
+from repro.h2.server import H2Server, ResourceSpec, ServerConfig
+from repro.netsim.topology import build_adversary_path
+from repro.web.isidewith import PARTIES, build_isidewith_site
+from repro.web.workload import VolunteerWorkload
+
+RESOURCES = {
+    "/page.html": ResourceSpec("/page.html", 8000, "text/html"),
+    "/style.css": ResourceSpec("/style.css", 4000, "text/css"),
+    "/logo.png": ResourceSpec("/logo.png", 6000, "image/png"),
+}
+
+
+def _stack(push_map=None):
+    topology = build_adversary_path(seed=41)
+    server = H2Server(
+        topology.sim, topology.server, 443,
+        lambda path: RESOURCES.get(path),
+        config=ServerConfig(push_map=push_map or {}),
+        trace=topology.trace,
+    )
+    client = H2Client(
+        topology.sim, topology.client, topology.server.endpoint(443),
+        trace=topology.trace, authority="push.example",
+    )
+    return topology, server, client
+
+
+def test_push_delivers_associated_resources():
+    push_map = {"/page.html": ("/style.css", "/logo.png")}
+    topology, server, client = _stack(push_map)
+    client.on_ready = lambda: client.get("/page.html")
+    client.connect()
+    topology.sim.run_until(5.0)
+    by_path = {h.path: h for h in client.handles.values()}
+    assert by_path["/page.html"].complete
+    assert by_path["/style.css"].complete and by_path["/style.css"].pushed
+    assert by_path["/logo.png"].complete and by_path["/logo.png"].pushed
+    assert by_path["/style.css"].received_bytes == 4000
+    # Promised streams are even (server-initiated).
+    assert by_path["/style.css"].stream_id % 2 == 0
+
+
+def test_pushed_instances_tracked_server_side():
+    push_map = {"/page.html": ("/style.css",)}
+    topology, server, client = _stack(push_map)
+    client.on_ready = lambda: client.get("/page.html")
+    client.connect()
+    topology.sim.run_until(5.0)
+    pushed = [i for i in server.all_instances if i.path == "/style.css"]
+    assert len(pushed) == 1
+    assert pushed[0].complete
+    assert pushed[0].stream_id % 2 == 0
+
+
+def test_duplicate_request_does_not_repush():
+    push_map = {"/page.html": ("/style.css",)}
+    topology, server, client = _stack(push_map)
+    client.on_ready = lambda: client.get("/page.html")
+    client.connect()
+    sim = topology.sim
+    sim.run_until(5.0)
+    # Retransmit the GET (quirk re-serves the page, but must not re-push).
+    layout = client.tcp.layout
+    for span in layout.spans_completed_by(layout.next_seq):
+        payload = getattr(span.message, "payload", None)
+        if getattr(payload, "type_name", "") == "HEADERS":
+            client.tcp._send_data_segment(span.start, span.length, True)
+            break
+    sim.run_until(10.0)
+    pushed = [i for i in server.all_instances if i.path == "/style.css"]
+    assert len(pushed) == 1
+
+
+def test_client_push_disabled_raises():
+    from repro.h2.settings import H2Settings
+    topology = build_adversary_path(seed=42)
+    server = H2Server(
+        topology.sim, topology.server, 443,
+        lambda path: RESOURCES.get(path),
+        trace=topology.trace,
+    )
+    client = H2Client(
+        topology.sim, topology.client, topology.server.endpoint(443),
+        settings=H2Settings(enable_push=False,
+                            initial_window_size=12 * 1024 * 1024),
+        trace=topology.trace,
+    )
+    client.on_ready = lambda: client.get("/page.html")
+    client.connect()
+    topology.sim.run_until(2.0)
+    with pytest.raises(H2Error):
+        server.connections[0].h2.send_push_promise(1, [(":path", "/x")])
+
+
+def test_push_defense_page_load_completes():
+    """A defended isidewith deployment: emblems pushed, page completes,
+    and the browser never requests the emblem paths."""
+    workload = VolunteerWorkload(seed=7)
+    site = workload.session(0)
+    defense = ServerPushDefense()
+    config = TrialConfig(
+        server=ServerConfig(push_map=defense.push_map(site))
+    )
+    outcome = run_trial(0, workload, config)
+    assert outcome.completed
+    # All emblems arrived by push.
+    pushed_paths = {
+        h.path for h in outcome.client.handles.values() if h.pushed
+    }
+    assert len([p for p in pushed_paths if "/parties/" in p]) == 8
+    # No GET for any emblem path appears in the browser's requests.
+    emblem_requests = [
+        record for record in outcome.trace.select(category="browser.request")
+        if "/parties/" in record["path"]
+    ]
+    assert emblem_requests == []
+
+
+def test_push_defense_canonical_order_independent_of_user():
+    defense = ServerPushDefense()
+    first = defense.canonical_order(build_isidewith_site(PARTIES))
+    second = defense.canonical_order(
+        build_isidewith_site(tuple(reversed(PARTIES)))
+    )
+    assert first == second == tuple(sorted(PARTIES))

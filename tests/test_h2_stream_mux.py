@@ -1,0 +1,215 @@
+"""Unit tests for the stream state machine and multiplexing schedulers."""
+
+import pytest
+
+from repro.h2.errors import H2ErrorCode, StreamError
+from repro.h2.frames import DataFrame, HeadersFrame
+from repro.h2.mux import FifoScheduler, PriorityScheduler, RoundRobinScheduler
+from repro.h2.priority import PriorityTree
+from repro.h2.stream import H2Stream, StreamState
+
+
+def _stream(stream_id=1):
+    return H2Stream(stream_id, send_window=65535, receive_window=65535)
+
+
+# -- H2Stream ----------------------------------------------------------------
+
+def test_request_response_lifecycle():
+    stream = _stream()
+    # Client view: send request headers with END_STREAM.
+    stream.send_headers(end_stream=True)
+    assert stream.state is StreamState.HALF_CLOSED_LOCAL
+    stream.receive_headers(end_stream=False)
+    stream.receive_data(1000, end_stream=True)
+    assert stream.state is StreamState.CLOSED
+    assert stream.data_received == 1000
+
+
+def test_server_side_lifecycle():
+    stream = _stream()
+    stream.receive_headers(end_stream=True)
+    assert stream.state is StreamState.HALF_CLOSED_REMOTE
+    stream.send_headers(end_stream=False)
+    stream.send_data(500, end_stream=True)
+    assert stream.state is StreamState.CLOSED
+    assert stream.data_sent == 500
+
+
+def test_data_on_idle_stream_rejected():
+    stream = _stream()
+    with pytest.raises(StreamError):
+        stream.send_data(10, end_stream=False)
+    with pytest.raises(StreamError):
+        stream.receive_data(10, end_stream=False)
+
+
+def test_headers_after_close_rejected():
+    stream = _stream()
+    stream.send_headers(end_stream=True)
+    stream.receive_headers(end_stream=True)
+    assert stream.closed
+    with pytest.raises(StreamError):
+        stream.send_headers(end_stream=False)
+
+
+def test_reset_closes_immediately():
+    stream = _stream()
+    stream.send_headers(end_stream=False)
+    stream.reset(H2ErrorCode.CANCEL)
+    assert stream.closed
+    assert stream.was_reset
+    assert stream.reset_code is H2ErrorCode.CANCEL
+
+
+def test_send_data_consumes_window():
+    stream = _stream()
+    stream.send_headers(end_stream=False)
+    stream.send_data(1000, end_stream=False)
+    assert stream.send_window.available == 65535 - 1000
+
+
+def test_reserve_transitions():
+    stream = _stream()
+    stream.reserve_local()
+    assert stream.state is StreamState.RESERVED_LOCAL
+    other = _stream(2)
+    other.reserve_remote()
+    assert other.state is StreamState.RESERVED_REMOTE
+    with pytest.raises(StreamError):
+        other.reserve_remote()
+
+
+def test_stream_id_positive():
+    with pytest.raises(ValueError):
+        H2Stream(0, 100, 100)
+
+
+# -- schedulers -----------------------------------------------------------------
+
+def _data(stream_id, size=100):
+    return DataFrame(stream_id=stream_id, data_bytes=size)
+
+
+def test_round_robin_interleaves():
+    scheduler = RoundRobinScheduler()
+    for _ in range(3):
+        scheduler.enqueue(1, _data(1))
+        scheduler.enqueue(3, _data(3))
+    order = [scheduler.next_frame().stream_id for _ in range(6)]
+    assert order == [1, 3, 1, 3, 1, 3]
+
+
+def test_round_robin_new_stream_joins_rotation():
+    scheduler = RoundRobinScheduler()
+    scheduler.enqueue(1, _data(1))
+    scheduler.enqueue(1, _data(1))
+    assert scheduler.next_frame().stream_id == 1
+    scheduler.enqueue(3, _data(3))
+    order = [scheduler.next_frame().stream_id for _ in range(2)]
+    assert sorted(order) == [1, 3]
+
+
+def test_fifo_drains_streams_in_arrival_order():
+    scheduler = FifoScheduler()
+    for index in range(3):
+        scheduler.enqueue(1, DataFrame(stream_id=1, data_bytes=100,
+                                       end_stream=(index == 2)))
+    for index in range(3):
+        scheduler.enqueue(3, DataFrame(stream_id=3, data_bytes=100,
+                                       end_stream=(index == 2)))
+    order = [scheduler.next_frame().stream_id for _ in range(6)]
+    assert order == [1, 1, 1, 3, 3, 3]
+
+
+def test_fifo_holds_wire_through_production_pause():
+    scheduler = FifoScheduler()
+    scheduler.enqueue(1, DataFrame(stream_id=1, data_bytes=100))
+    scheduler.enqueue(3, DataFrame(stream_id=3, data_bytes=100))
+    assert scheduler.next_frame().stream_id == 1
+    # Stream 1 not finished (no END_STREAM yet): the wire is held even
+    # though stream 3 has a frame ready.
+    assert scheduler.next_frame() is None
+    scheduler.enqueue(1, DataFrame(stream_id=1, data_bytes=50, end_stream=True))
+    assert scheduler.next_frame().stream_id == 1
+    assert scheduler.next_frame().stream_id == 3
+
+
+def test_fifo_flush_releases_wire():
+    scheduler = FifoScheduler()
+    scheduler.enqueue(1, DataFrame(stream_id=1, data_bytes=100))
+    scheduler.enqueue(3, DataFrame(stream_id=3, data_bytes=100))
+    assert scheduler.next_frame().stream_id == 1
+    scheduler.flush_stream(1)
+    assert scheduler.next_frame().stream_id == 3
+
+
+def test_flush_stream_removes_queued_frames():
+    scheduler = RoundRobinScheduler()
+    scheduler.enqueue(1, _data(1))
+    scheduler.enqueue(1, _data(1))
+    scheduler.enqueue(3, _data(3))
+    assert scheduler.flush_stream(1) == 2
+    assert scheduler.pending_frames == 1
+    assert scheduler.next_frame().stream_id == 3
+
+
+def test_flush_unknown_stream_returns_zero():
+    assert RoundRobinScheduler().flush_stream(9) == 0
+
+
+def test_next_frame_empty_returns_none():
+    assert RoundRobinScheduler().next_frame() is None
+    assert FifoScheduler().next_frame() is None
+    assert PriorityScheduler().next_frame() is None
+
+
+def test_eligibility_skips_blocked_streams():
+    scheduler = RoundRobinScheduler()
+    scheduler.enqueue(1, _data(1, size=5000))
+    scheduler.enqueue(3, _data(3, size=100))
+    # Pretend stream 1's frame exceeds the flow-control window.
+    frame = scheduler.next_frame(eligible=lambda f: f.data_bytes <= 1000)
+    assert frame.stream_id == 3
+    # Nothing else eligible.
+    assert scheduler.next_frame(eligible=lambda f: f.data_bytes <= 1000) is None
+    # Once the window opens, stream 1 sends.
+    assert scheduler.next_frame().stream_id == 1
+
+
+def test_per_stream_order_is_fifo():
+    scheduler = RoundRobinScheduler()
+    first = HeadersFrame(stream_id=1)
+    second = _data(1)
+    scheduler.enqueue(1, first)
+    scheduler.enqueue(1, second)
+    assert scheduler.next_frame() is first
+    assert scheduler.next_frame() is second
+
+
+def test_priority_scheduler_respects_weights():
+    tree = PriorityTree()
+    scheduler = PriorityScheduler(tree)
+    tree.insert(1, weight=200)
+    tree.insert(3, weight=10)
+    for _ in range(20):
+        scheduler.enqueue(1, _data(1, 1000))
+        scheduler.enqueue(3, _data(3, 1000))
+    first_ten = [scheduler.next_frame().stream_id for _ in range(10)]
+    assert first_ten.count(1) > first_ten.count(3)
+
+
+def test_priority_scheduler_auto_inserts_unknown_streams():
+    scheduler = PriorityScheduler()
+    scheduler.enqueue(7, _data(7))
+    assert scheduler.next_frame().stream_id == 7
+
+
+def test_pending_frames_counts():
+    scheduler = RoundRobinScheduler()
+    assert scheduler.pending_frames == 0
+    scheduler.enqueue(1, _data(1))
+    scheduler.enqueue(3, _data(3))
+    assert scheduler.pending_frames == 2
+    scheduler.next_frame()
+    assert scheduler.pending_frames == 1

@@ -1,0 +1,66 @@
+"""Tests for the inspection utilities and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.adversary import AdversaryConfig
+from repro.experiments import inspect as inspect_module
+from repro.experiments.harness import TrialConfig, run_trial
+from repro.web.workload import VolunteerWorkload
+
+
+@pytest.fixture(scope="module")
+def attacked_trial():
+    return run_trial(
+        0, VolunteerWorkload(seed=7),
+        TrialConfig(adversary=AdversaryConfig()),
+    )
+
+
+def test_timeline_contains_attack_phases(attacked_trial):
+    text = inspect_module.timeline(attacked_trial)
+    assert "ATTACK armed" in text
+    assert "ATTACK triggered" in text
+    assert "SERVE result-html" in text
+
+
+def test_timeline_truncates(attacked_trial):
+    text = inspect_module.timeline(attacked_trial, max_lines=5)
+    assert "more events" in text
+    assert len(text.splitlines()) == 6
+
+
+def test_wire_view_annotates_bursts(attacked_trial):
+    text = inspect_module.wire_view(attacked_trial, since=8.0)
+    assert "emblem-" in text
+    assert " B " in text
+
+
+def test_summary_line(attacked_trial):
+    text = inspect_module.summary(attacked_trial)
+    assert "trial 0" in text
+    assert "packets captured" in text
+
+
+def test_cli_fig1(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "sequential" in out
+
+
+def test_cli_attack(capsys):
+    assert main(["attack", "--trial", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "predicted order" in out
+    assert "positions correct" in out
+
+
+def test_cli_baseline_small(capsys):
+    assert main(["baseline", "--trials", "3"]) == 0
+    assert "degree of multiplexing" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])

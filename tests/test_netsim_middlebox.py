@@ -1,0 +1,217 @@
+"""Unit tests for the middlebox, capture, and topology builder."""
+
+import pytest
+
+from repro.netsim.address import Endpoint
+from repro.netsim.capture import CaptureLog, Direction, PacketRecord
+from repro.netsim.link import Link, LinkConfig
+from repro.netsim.middlebox import Middlebox, PacketAction, Verdict
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet
+from repro.netsim.topology import build_adversary_path
+from repro.simkernel.units import MBPS
+from repro.tls.record import TLSRecord
+
+
+class _Drop:
+    def classify(self, packet, direction, now):
+        return Verdict.drop()
+
+
+class _Delay:
+    def __init__(self, delay):
+        self.delay = delay
+
+    def classify(self, packet, direction, now):
+        return Verdict.delayed(self.delay)
+
+
+def _wired_middlebox(sim):
+    """client — mbox — server with sinks recording arrivals."""
+    topo = build_adversary_path(sim=sim, seed=0)
+    received = {"client": [], "server": []}
+    topo.client.bind(1, lambda p: received["client"].append((sim.now, p)))
+    topo.server.bind(2, lambda p: received["server"].append((sim.now, p)))
+    return topo, received
+
+
+def test_middlebox_forwards_both_directions(sim):
+    topo, received = _wired_middlebox(sim)
+    topo.client.send(Packet(Endpoint("client", 1), Endpoint("server", 2), None))
+    topo.server.send(Packet(Endpoint("server", 2), Endpoint("client", 1), None))
+    sim.run()
+    assert len(received["server"]) == 1
+    assert len(received["client"]) == 1
+    assert topo.middlebox.forwarded == 2
+
+
+def test_middlebox_capture_records_direction(sim):
+    topo, _ = _wired_middlebox(sim)
+    topo.client.send(Packet(Endpoint("client", 1), Endpoint("server", 2), None))
+    sim.run()
+    assert len(topo.middlebox.capture) == 1
+    record = topo.middlebox.capture[0]
+    assert record.direction is Direction.CLIENT_TO_SERVER
+
+
+def test_middlebox_drop_filter(sim):
+    topo, received = _wired_middlebox(sim)
+    topo.middlebox.add_filter(Direction.CLIENT_TO_SERVER, _Drop())
+    topo.client.send(Packet(Endpoint("client", 1), Endpoint("server", 2), None))
+    sim.run()
+    assert received["server"] == []
+    assert topo.middlebox.dropped == 1
+    assert topo.middlebox.capture[0].dropped_by_adversary
+
+
+def test_middlebox_drop_only_applies_to_direction(sim):
+    topo, received = _wired_middlebox(sim)
+    topo.middlebox.add_filter(Direction.CLIENT_TO_SERVER, _Drop())
+    topo.server.send(Packet(Endpoint("server", 2), Endpoint("client", 1), None))
+    sim.run()
+    assert len(received["client"]) == 1
+
+
+def test_middlebox_delay_filter(sim):
+    topo, received = _wired_middlebox(sim)
+    topo.middlebox.add_filter(Direction.CLIENT_TO_SERVER, _Delay(0.5))
+    topo.client.send(Packet(Endpoint("client", 1), Endpoint("server", 2), None))
+    sim.run()
+    assert received["server"][0][0] >= 0.5
+
+
+def test_middlebox_delays_accumulate_across_filters(sim):
+    topo, received = _wired_middlebox(sim)
+    topo.middlebox.add_filter(Direction.CLIENT_TO_SERVER, _Delay(0.2))
+    topo.middlebox.add_filter(Direction.CLIENT_TO_SERVER, _Delay(0.3))
+    topo.client.send(Packet(Endpoint("client", 1), Endpoint("server", 2), None))
+    sim.run()
+    assert received["server"][0][0] >= 0.5
+
+
+def test_middlebox_remove_and_clear_filters(sim):
+    topo, received = _wired_middlebox(sim)
+    drop = _Drop()
+    topo.middlebox.add_filter(Direction.CLIENT_TO_SERVER, drop)
+    topo.middlebox.remove_filter(Direction.CLIENT_TO_SERVER, drop)
+    topo.client.send(Packet(Endpoint("client", 1), Endpoint("server", 2), None))
+    sim.run()
+    assert len(received["server"]) == 1
+    topo.middlebox.add_filter(Direction.CLIENT_TO_SERVER, _Drop())
+    topo.middlebox.clear_filters()
+    topo.client.send(Packet(Endpoint("client", 1), Endpoint("server", 2), None))
+    sim.run()
+    assert len(received["server"]) == 2
+
+
+def test_middlebox_bandwidth_limit_paces(sim):
+    topo, received = _wired_middlebox(sim)
+    # 8 kbit/s with a 100-byte burst: 40-byte packets conform slowly.
+    topo.middlebox.set_bandwidth_limit(8_000, burst_bytes=100)
+    for _ in range(5):
+        topo.client.send(
+            Packet(Endpoint("client", 1), Endpoint("server", 2), None)
+        )
+    sim.run()
+    times = [t for t, _ in received["server"]]
+    assert len(times) == 5
+    assert times[-1] - times[0] > 0.05  # paced, not a burst
+
+
+def test_middlebox_bandwidth_limit_lift(sim):
+    topo, received = _wired_middlebox(sim)
+    topo.middlebox.set_bandwidth_limit(8_000, burst_bytes=100)
+    topo.middlebox.set_bandwidth_limit(None)
+    for _ in range(5):
+        topo.client.send(
+            Packet(Endpoint("client", 1), Endpoint("server", 2), None)
+        )
+    sim.run()
+    times = [t for t, _ in received["server"]]
+    assert times[-1] - times[0] < 0.01
+
+
+def test_verdict_validation():
+    with pytest.raises(ValueError):
+        Verdict(PacketAction.DELAY, delay=-1.0)
+    assert Verdict.forward().action is PacketAction.FORWARD
+    assert Verdict.drop().action is PacketAction.DROP
+    assert Verdict.delayed(0.1).delay == 0.1
+
+
+# -- CaptureLog / PacketRecord ------------------------------------------------
+
+def _record(direction, time=0.0, payload=0, content_types=(), dropped=False):
+    return PacketRecord(
+        time=time, direction=direction, packet_id=1, wire_size=40 + payload,
+        payload_bytes=payload, flags=(), seq=0, ack=0,
+        tls_content_types=tuple(content_types),
+        dropped_by_adversary=dropped,
+    )
+
+
+def test_capture_in_direction_excludes_dropped():
+    log = CaptureLog()
+    log.append(_record(Direction.CLIENT_TO_SERVER))
+    log.append(_record(Direction.CLIENT_TO_SERVER, dropped=True))
+    assert len(log.in_direction(Direction.CLIENT_TO_SERVER)) == 1
+    assert len(
+        log.in_direction(Direction.CLIENT_TO_SERVER, include_dropped=True)
+    ) == 2
+
+
+def test_capture_application_data_filter():
+    log = CaptureLog()
+    log.append(_record(Direction.SERVER_TO_CLIENT, content_types=(23,)))
+    log.append(_record(Direction.SERVER_TO_CLIENT, content_types=(22,)))
+    assert len(log.application_data()) == 1
+
+
+def test_capture_since_clips():
+    log = CaptureLog()
+    log.append(_record(Direction.SERVER_TO_CLIENT, time=1.0))
+    log.append(_record(Direction.SERVER_TO_CLIENT, time=2.0))
+    assert len(log.since(1.5)) == 1
+
+
+def test_record_is_application_stream_continuation():
+    record = _record(Direction.SERVER_TO_CLIENT, payload=500, content_types=())
+    assert record.is_application_stream
+    handshake = _record(
+        Direction.SERVER_TO_CLIENT, payload=500, content_types=(22,)
+    )
+    assert not handshake.is_application_stream
+    empty = _record(Direction.SERVER_TO_CLIENT, payload=0)
+    assert not empty.is_application_stream
+
+
+def test_record_from_packet_reads_tls_types(sim):
+    record_obj = TLSRecord(content_type=23, plaintext_length=100)
+
+    class _Segment:
+        seq = 10
+        ack = 20
+        flags = frozenset({"ACK"})
+        payload_bytes = 129
+        option_bytes = 12
+        tls_records = (record_obj,)
+
+    packet = Packet(Endpoint("a", 1), Endpoint("b", 2), _Segment())
+    captured = PacketRecord.from_packet(1.0, Direction.CLIENT_TO_SERVER, packet)
+    assert captured.tls_content_types == (23,)
+    assert captured.seq == 10
+    assert captured.is_application_data
+
+
+def test_direction_opposite():
+    assert Direction.CLIENT_TO_SERVER.opposite() is Direction.SERVER_TO_CLIENT
+    assert Direction.SERVER_TO_CLIENT.opposite() is Direction.CLIENT_TO_SERVER
+
+
+def test_topology_builder_wires_everything():
+    topo = build_adversary_path(seed=3)
+    assert topo.client.name == "client"
+    assert topo.server.name == "server"
+    assert topo.middlebox.name == "gateway"
+    assert topo.client_link.config.propagation_delay < \
+        topo.server_link.config.propagation_delay

@@ -1,0 +1,150 @@
+"""Property-based tests for the estimator, priority tree and queues."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import SizeEstimator
+from repro.h2.priority import PriorityTree
+from repro.netsim.capture import Direction, PacketRecord
+from repro.netsim.queue import DropTailQueue, TokenBucket
+from repro.simkernel.units import MBPS
+
+
+def _packet(time, payload, full_mtu):
+    return PacketRecord(
+        time=time, direction=Direction.SERVER_TO_CLIENT, packet_id=0,
+        wire_size=1500 if full_mtu else 44 + min(payload, 1400),
+        payload_bytes=payload, flags=(), seq=0, ack=0,
+        tls_content_types=(23,),
+    )
+
+
+packet_streams = st.lists(
+    st.tuples(
+        st.floats(0.0001, 0.2, allow_nan=False),  # inter-packet gap
+        st.integers(100, 1448),                   # payload
+        st.booleans(),                            # full MTU?
+    ),
+    min_size=1, max_size=40,
+)
+
+
+@given(packet_streams)
+@settings(max_examples=150)
+def test_estimator_conserves_bytes(stream):
+    """Estimates partition the input: summed payloads of all estimates
+    equal the total payload of packets not filtered as too-small."""
+    time = 0.0
+    packets = []
+    for gap, payload, full in stream:
+        time += gap
+        packets.append(_packet(time, payload, full))
+    estimator = SizeEstimator(min_object_bytes=0)
+    estimates = estimator.estimate(packets)
+    assert sum(e.payload_bytes for e in estimates) == \
+        sum(p.payload_bytes for p in packets)
+
+
+@given(packet_streams)
+@settings(max_examples=150)
+def test_estimator_intervals_ordered_and_disjoint(stream):
+    time = 0.0
+    packets = []
+    for gap, payload, full in stream:
+        time += gap
+        packets.append(_packet(time, payload, full))
+    estimates = SizeEstimator(min_object_bytes=0).estimate(packets)
+    for first, second in zip(estimates, estimates[1:]):
+        assert first.end_time <= second.start_time
+    for estimate in estimates:
+        assert estimate.start_time <= estimate.end_time
+        assert estimate.packets >= 1
+
+
+@given(st.lists(st.integers(1, 100), min_size=1, max_size=30),
+       st.integers(1, 20))
+def test_droptail_never_exceeds_capacity(items, capacity):
+    queue = DropTailQueue(capacity=capacity)
+    for item in items:
+        queue.push(item)
+        assert len(queue) <= capacity
+    assert queue.enqueues + queue.drops == len(items)
+
+
+@given(st.lists(st.tuples(st.floats(0, 1), st.integers(1, 2000)),
+                min_size=1, max_size=30))
+def test_token_bucket_delay_nonnegative_and_conforms(events):
+    bucket = TokenBucket(10 * MBPS, burst_bytes=5000)
+    now = 0.0
+    for dt, size in events:
+        now += dt
+        delay = bucket.delay_until_conformant(size, now)
+        assert delay >= 0.0
+        bucket.consume_at(size, now + delay)
+
+
+priority_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "remove", "reprioritize"]),
+        st.integers(1, 15),
+        st.integers(0, 15),
+        st.integers(1, 256),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+@given(priority_ops, st.sets(st.integers(1, 15), min_size=1, max_size=8))
+@settings(max_examples=150)
+def test_priority_tree_allocations_sum_to_one(operations, ready):
+    tree = PriorityTree()
+    live = set()
+    for op, stream_id, depends_on, weight in operations:
+        if op == "insert":
+            tree.insert(stream_id, depends_on if depends_on in live else 0,
+                        weight)
+            live.add(stream_id)
+        elif op == "remove" and stream_id in live:
+            tree.remove(stream_id)
+            live.discard(stream_id)
+        elif op == "reprioritize" and stream_id in live:
+            tree.reprioritize(
+                stream_id, depends_on if depends_on in live else 0, weight
+            )
+    ready_live = ready & live
+    shares = tree.allocate(ready_live)
+    allocated = {stream_id for stream_id, _ in shares}
+    assert allocated <= ready_live
+    if ready_live:
+        total = sum(share for _, share in shares)
+        # Every ready stream is reachable from the root, so the whole
+        # bandwidth is handed out.
+        assert abs(total - 1.0) < 1e-9
+        assert all(share > 0 for _, share in shares)
+
+
+@given(priority_ops)
+@settings(max_examples=100)
+def test_priority_tree_no_cycles(operations):
+    """Walking parents from any node terminates at the root."""
+    tree = PriorityTree()
+    live = set()
+    for op, stream_id, depends_on, weight in operations:
+        if op == "insert":
+            tree.insert(stream_id, depends_on if depends_on in live else 0,
+                        weight)
+            live.add(stream_id)
+        elif op == "remove" and stream_id in live:
+            tree.remove(stream_id)
+            live.discard(stream_id)
+        elif op == "reprioritize" and stream_id in live:
+            tree.reprioritize(
+                stream_id, depends_on if depends_on in live else 0, weight
+            )
+    for stream_id in live:
+        seen = set()
+        current = stream_id
+        while current is not None and current != 0:
+            assert current not in seen, "cycle in priority tree"
+            seen.add(current)
+            current = tree.parent_of(current)

@@ -1,0 +1,72 @@
+"""Scale and robustness: big pages, long sessions, determinism."""
+
+import pytest
+
+from repro.core.adversary import AdversaryConfig
+from repro.experiments.harness import TrialConfig, run_trial
+from repro.h2.client import H2Client
+from repro.h2.server import H2Server, ServerConfig
+from repro.netsim.topology import build_adversary_path
+from repro.simkernel.randomstream import RandomStreams
+from repro.web.browser import Browser, BrowserConfig
+from repro.web.generator import generate_site
+from repro.web.workload import VolunteerWorkload
+
+
+def test_two_hundred_object_page_completes():
+    rng = RandomStreams(123)
+    site = generate_site(rng, object_count=200)
+    topology = build_adversary_path(seed=rng.master_seed)
+    sim = topology.sim
+    H2Server(sim, topology.server, 443, site.website.router,
+             config=ServerConfig(), trace=topology.trace, rng=rng)
+    client = H2Client(sim, topology.client, topology.server.endpoint(443),
+                      trace=topology.trace)
+    browser = Browser(sim, client, site.schedule, config=BrowserConfig(),
+                      trace=topology.trace)
+    browser.start()
+    sim.run_until(60.0)
+    assert browser.page_complete
+    assert len(client.handles) == 201
+
+
+def test_attacked_trial_deterministic_to_the_packet():
+    workload = VolunteerWorkload(seed=7)
+    config = TrialConfig(adversary=AdversaryConfig())
+    first = run_trial(3, workload, config)
+    second = run_trial(3, workload, config)
+    first_capture = first.topology.middlebox.capture
+    second_capture = second.topology.middlebox.capture
+    assert len(first_capture) == len(second_capture)
+    for a, b in zip(first_capture, second_capture):
+        assert a.time == b.time
+        assert a.wire_size == b.wire_size
+        assert a.direction == b.direction
+    assert first.analyze().sequence_prediction == \
+        second.analyze().sequence_prediction
+
+
+def test_seed_changes_everything():
+    a = run_trial(0, VolunteerWorkload(seed=1), TrialConfig())
+    b = run_trial(0, VolunteerWorkload(seed=2), TrialConfig())
+    assert a.site.party_order != b.site.party_order or \
+        len(a.topology.middlebox.capture) != len(b.topology.middlebox.capture)
+
+
+def test_back_to_back_trials_do_not_leak_state():
+    """Global counters (packet ids, instance ids) grow across trials but
+    must not affect behaviour."""
+    workload = VolunteerWorkload(seed=7)
+    results = [run_trial(0, workload, TrialConfig()).duration
+               for _ in range(3)]
+    assert results[0] == results[1] == results[2]
+
+
+@pytest.mark.parametrize("horizon", [5.0, 40.0])
+def test_horizon_respected(horizon):
+    workload = VolunteerWorkload(seed=7)
+    outcome = run_trial(
+        0, workload,
+        TrialConfig(adversary=AdversaryConfig(), horizon=horizon),
+    )
+    assert outcome.duration <= horizon + 1e-9

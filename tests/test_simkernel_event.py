@@ -1,0 +1,90 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.simkernel.errors import SchedulingError
+from repro.simkernel.event import Event, EventQueue
+
+
+def test_events_pop_in_time_order():
+    queue = EventQueue()
+    order = []
+    queue.push(2.0, 100, lambda: order.append("late"))
+    queue.push(1.0, 100, lambda: order.append("early"))
+    queue.push(3.0, 100, lambda: order.append("latest"))
+    while (event := queue.pop()) is not None:
+        event.callback()
+    assert order == ["early", "late", "latest"]
+
+
+def test_same_time_events_pop_in_insertion_order():
+    queue = EventQueue()
+    first = queue.push(1.0, 100, lambda: None)
+    second = queue.push(1.0, 100, lambda: None)
+    assert queue.pop() is first
+    assert queue.pop() is second
+
+
+def test_priority_breaks_time_ties():
+    queue = EventQueue()
+    low_priority = queue.push(1.0, 200, lambda: None)
+    high_priority = queue.push(1.0, 100, lambda: None)
+    assert queue.pop() is high_priority
+    assert queue.pop() is low_priority
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    cancelled = queue.push(1.0, 100, lambda: None)
+    kept = queue.push(2.0, 100, lambda: None)
+    cancelled.cancel()
+    assert queue.pop() is kept
+    assert queue.pop() is None
+
+
+def test_double_cancel_raises():
+    queue = EventQueue()
+    event = queue.push(1.0, 100, lambda: None)
+    event.cancel()
+    with pytest.raises(SchedulingError):
+        event.cancel()
+
+
+def test_len_counts_only_live_events():
+    queue = EventQueue()
+    event = queue.push(1.0, 100, lambda: None)
+    queue.push(2.0, 100, lambda: None)
+    assert len(queue) == 2
+    event.cancel()
+    assert len(queue) == 1
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, 100, lambda: None)
+    queue.push(2.0, 100, lambda: None)
+    first.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty_queue():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_queue():
+    assert EventQueue().pop() is None
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    queue.push(1.0, 100, lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    assert queue.pop() is None
+
+
+def test_event_repr_shows_state():
+    event = Event(1.5, 100, 0, lambda: None)
+    assert "pending" in repr(event)
+    event.cancel()
+    assert "cancelled" in repr(event)

@@ -1,0 +1,142 @@
+"""Unit tests for random streams, the trace log and units."""
+
+import pytest
+
+from repro.simkernel.randomstream import RandomStreams
+from repro.simkernel.trace import TraceLog
+from repro.simkernel.units import (
+    MBPS,
+    MILLISECONDS,
+    bandwidth_to_bytes_per_second,
+    transmission_delay,
+)
+
+
+# -- RandomStreams -----------------------------------------------------------
+
+def test_same_name_same_stream():
+    streams = RandomStreams(1)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_streams_reproducible_across_instances():
+    first = [RandomStreams(5).stream("jitter").random() for _ in range(3)]
+    second = [RandomStreams(5).stream("jitter").random() for _ in range(3)]
+    # Each instance creates a fresh stream; drawing 3 values must match.
+    a = RandomStreams(5).stream("jitter")
+    b = RandomStreams(5).stream("jitter")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(1)
+    assert streams.stream("a").random() != streams.stream("b").random()
+
+
+def test_creation_order_does_not_matter():
+    forward = RandomStreams(9)
+    forward.stream("first")
+    first_draw = forward.stream("second").random()
+    backward = RandomStreams(9)
+    second_draw = backward.stream("second").random()
+    assert first_draw == second_draw
+
+
+def test_spawn_derives_new_master():
+    parent = RandomStreams(3)
+    child_a = parent.spawn("trial-0")
+    child_b = parent.spawn("trial-1")
+    assert child_a.master_seed != child_b.master_seed
+    assert RandomStreams(3).spawn("trial-0").master_seed == child_a.master_seed
+
+
+def test_uniform_within_bounds():
+    streams = RandomStreams(2)
+    for _ in range(100):
+        value = streams.uniform("u", 1.0, 2.0)
+        assert 1.0 <= value <= 2.0
+
+
+def test_shuffled_preserves_elements_and_input():
+    streams = RandomStreams(4)
+    items = [1, 2, 3, 4, 5]
+    shuffled = streams.shuffled("s", items)
+    assert sorted(shuffled) == items
+    assert items == [1, 2, 3, 4, 5]
+
+
+def test_choice_picks_member():
+    streams = RandomStreams(4)
+    assert streams.choice("c", ["only"]) == "only"
+
+
+# -- TraceLog ----------------------------------------------------------------
+
+def test_trace_record_and_select():
+    log = TraceLog()
+    log.record(1.0, "tcp.retransmit", kind="fast")
+    log.record(2.0, "tcp.retransmit", kind="rto")
+    log.record(3.0, "h2.request", path="/x")
+    assert log.count(category="tcp.retransmit") == 2
+    assert log.count(prefix="tcp.") == 2
+    fast = log.select(
+        category="tcp.retransmit", predicate=lambda r: r["kind"] == "fast"
+    )
+    assert len(fast) == 1 and fast[0].time == 1.0
+
+
+def test_trace_disabled_records_nothing():
+    log = TraceLog(enabled=False)
+    log.record(1.0, "x")
+    assert len(log) == 0
+
+
+def test_trace_categories_histogram():
+    log = TraceLog()
+    log.record(1.0, "a")
+    log.record(2.0, "a")
+    log.record(3.0, "b")
+    assert log.categories() == {"a": 2, "b": 1}
+
+
+def test_trace_record_get_with_default():
+    log = TraceLog()
+    log.record(1.0, "x", field=5)
+    record = log.select(category="x")[0]
+    assert record.get("field") == 5
+    assert record.get("missing", "d") == "d"
+
+
+def test_trace_clear():
+    log = TraceLog()
+    log.record(1.0, "x")
+    log.clear()
+    assert len(log) == 0
+
+
+# -- units -------------------------------------------------------------------
+
+def test_bandwidth_conversion():
+    assert bandwidth_to_bytes_per_second(8 * MBPS) == 1_000_000
+
+
+def test_bandwidth_must_be_positive():
+    with pytest.raises(ValueError):
+        bandwidth_to_bytes_per_second(0)
+
+
+def test_transmission_delay():
+    assert transmission_delay(1250, 1 * MBPS) == pytest.approx(0.01)
+
+
+def test_transmission_delay_zero_size():
+    assert transmission_delay(0, 1 * MBPS) == 0.0
+
+
+def test_transmission_delay_negative_size_raises():
+    with pytest.raises(ValueError):
+        transmission_delay(-1, 1 * MBPS)
+
+
+def test_milliseconds_constant():
+    assert 25 * MILLISECONDS == pytest.approx(0.025)

@@ -1,0 +1,98 @@
+"""Tests for the streaming traffic model and study (§VII)."""
+
+import pytest
+
+from repro.experiments.streaming_study import _classify_bursts, _score
+from repro.h2.client import H2Client
+from repro.h2.server import H2Server
+from repro.netsim.topology import build_adversary_path
+from repro.simkernel.randomstream import RandomStreams
+from repro.web.streaming import (
+    DEFAULT_LADDER,
+    StreamingPlayer,
+    StreamingSession,
+    generate_session,
+    segment_path,
+)
+
+
+def test_generate_session_reproducible():
+    first = generate_session(RandomStreams(3), segments=10)
+    second = generate_session(RandomStreams(3), segments=10)
+    assert first.qualities == second.qualities
+    assert first.sizes == second.sizes
+
+
+def test_generate_session_walk_properties():
+    session = generate_session(RandomStreams(5), segments=20)
+    assert session.segment_count == 20
+    rungs = list(DEFAULT_LADDER)
+    assert session.qualities[0] == rungs[0]  # starts at the bottom
+    levels = [rungs.index(quality) for quality in session.qualities]
+    # The ABR walk moves at most one rung per step upward.
+    for previous, current in zip(levels, levels[1:]):
+        assert current - previous <= 1
+
+
+def test_session_sizes_near_nominal():
+    session = generate_session(RandomStreams(5), segments=15, vbr_noise=0.08)
+    for quality, size in zip(session.qualities, session.sizes):
+        nominal = DEFAULT_LADDER[quality]
+        assert 0.92 * nominal <= size <= 1.08 * nominal
+
+
+def test_session_router():
+    session = generate_session(RandomStreams(5), segments=3)
+    path = segment_path(0, session.qualities[0])
+    resource = session.router(path)
+    assert resource is not None
+    assert resource.body_bytes == session.sizes[0]
+    assert session.router("/nope") is None
+
+
+def test_player_downloads_all_segments():
+    rng = RandomStreams(9)
+    session = generate_session(rng, segments=6)
+    topology = build_adversary_path(seed=1)
+    H2Server(topology.sim, topology.server, 443, session.router,
+             trace=topology.trace)
+    client = H2Client(topology.sim, topology.client,
+                      topology.server.endpoint(443), trace=topology.trace)
+    player = StreamingPlayer(topology.sim, client, session)
+    player.start()
+    topology.sim.run_until(40.0)
+    assert player.finished
+    assert len(player.handles) == 6
+    assert all(handle.complete for handle in player.handles)
+    received = [handle.received_bytes for handle in player.handles]
+    assert received == list(session.sizes)
+
+
+def test_player_respects_pipeline_depth():
+    rng = RandomStreams(9)
+    session = generate_session(rng, segments=8)
+    topology = build_adversary_path(seed=2)
+    H2Server(topology.sim, topology.server, 443, session.router,
+             trace=topology.trace)
+    client = H2Client(topology.sim, topology.client,
+                      topology.server.endpoint(443), trace=topology.trace)
+    player = StreamingPlayer(topology.sim, client, session, pipeline_depth=2)
+    player.start()
+    # Sample outstanding count as the simulation progresses.
+    max_outstanding = 0
+    sim = topology.sim
+    while sim.now < 30.0 and not player.finished:
+        sim.run_until(sim.now + 0.05)
+        max_outstanding = max(max_outstanding, player._outstanding)
+    assert max_outstanding <= 2
+
+
+def test_score_counts_lcs():
+    session = StreamingSession(
+        qualities=("q240", "q360", "q480"),
+        ladder=dict(DEFAULT_LADDER),
+        sizes=(70_000, 125_000, 225_000),
+    )
+    assert _score(session, ["q240", "q360", "q480"]) == 3
+    assert _score(session, ["q240", None, "q480"]) == 2
+    assert _score(session, ["q1080"]) == 0

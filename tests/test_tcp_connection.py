@@ -1,0 +1,280 @@
+"""Integration tests for TCP connections over a simulated wire."""
+
+import pytest
+
+from repro.netsim.capture import Direction
+from repro.netsim.link import Link, LinkConfig
+from repro.netsim.middlebox import Verdict
+from repro.netsim.node import Host
+from repro.netsim.topology import build_adversary_path
+from repro.simkernel.randomstream import RandomStreams
+from repro.simkernel.trace import TraceLog
+from repro.tcp.config import TCPConfig
+from repro.tcp.connection import TCPConnection, TCPState
+from repro.tcp.listener import TCPListener
+
+
+class _Msg:
+    """A fixed-size application message."""
+
+    def __init__(self, length, name=""):
+        self.wire_length = length
+        self.name = name
+
+
+def _pair(wire, client_config=None, server_config=None, trace=None):
+    """A connected client/server pair over the plain wire fixture."""
+    sim, host_a, host_b = wire
+    accepted = []
+    listener = TCPListener(
+        sim, host_b, 443, accepted.append,
+        config=server_config or TCPConfig(), trace=trace,
+    )
+    client = TCPConnection(
+        sim, host_a, 50000, host_b.endpoint(443),
+        config=client_config or TCPConfig(), trace=trace, name="client:t",
+    )
+    return sim, client, listener, accepted
+
+
+def test_three_way_handshake(wire):
+    sim, client, listener, accepted = _pair(wire)
+    established = []
+    client.on_established = lambda: established.append("client")
+    client.connect()
+    sim.run_until(1.0)
+    assert client.state is TCPState.ESTABLISHED
+    assert accepted and accepted[0].state is TCPState.ESTABLISHED
+    assert established == ["client"]
+
+
+def test_message_transfer_small(wire):
+    sim, client, listener, accepted = _pair(wire)
+    received = []
+    def on_accept_message(connection):
+        connection.on_message = lambda m, dup: received.append((m.name, dup))
+    client.connect()
+    sim.run_until(0.1)
+    accepted[0].on_message = lambda m, dup: received.append((m.name, dup))
+    client.send_message(_Msg(500, "hello"))
+    sim.run_until(1.0)
+    assert received == [("hello", False)]
+
+
+def test_large_transfer_segments_and_reassembles(wire):
+    sim, client, listener, accepted = _pair(wire)
+    received = []
+    client.connect()
+    sim.run_until(0.1)
+    accepted[0].on_message = lambda m, dup: received.append(m.name)
+    client.send_message(_Msg(100_000, "big"))
+    sim.run_until(5.0)
+    assert received == ["big"]
+    assert accepted[0].reassembly.rcv_nxt == 100_000
+
+
+def test_bidirectional_transfer(wire):
+    sim, client, listener, accepted = _pair(wire)
+    got_client, got_server = [], []
+    client.on_message = lambda m, dup: got_client.append(m.name)
+    client.connect()
+    sim.run_until(0.1)
+    accepted[0].on_message = lambda m, dup: got_server.append(m.name)
+    client.send_message(_Msg(5000, "up"))
+    accepted[0].send_message(_Msg(7000, "down"))
+    sim.run_until(2.0)
+    assert got_server == ["up"]
+    assert got_client == ["down"]
+
+
+def test_messages_delivered_in_order(wire):
+    sim, client, listener, accepted = _pair(wire)
+    received = []
+    client.connect()
+    sim.run_until(0.1)
+    accepted[0].on_message = lambda m, dup: received.append(m.name)
+    for index in range(20):
+        client.send_message(_Msg(1000, f"m{index}"))
+    sim.run_until(5.0)
+    assert received == [f"m{index}" for index in range(20)]
+
+
+def test_fin_teardown(wire):
+    sim, client, listener, accepted = _pair(wire)
+    closed = []
+    client.on_close = lambda reset: closed.append(("client", reset))
+    client.connect()
+    sim.run_until(0.1)
+    accepted[0].on_close = lambda reset: closed.append(("server", reset))
+    client.close()
+    sim.run_until(0.5)
+    # Server saw FIN → CLOSE_WAIT; it closes too.
+    assert accepted[0].state in (TCPState.CLOSE_WAIT, TCPState.LAST_ACK)
+    accepted[0].close()
+    sim.run_until(5.0)
+    assert client.state is TCPState.CLOSED
+    assert accepted[0].state is TCPState.CLOSED
+    assert ("server", False) in closed
+
+
+def test_rst_aborts_both_sides(wire):
+    sim, client, listener, accepted = _pair(wire)
+    closed = []
+    client.connect()
+    sim.run_until(0.1)
+    accepted[0].on_close = lambda reset: closed.append(reset)
+    client.reset()
+    sim.run_until(0.5)
+    assert client.state is TCPState.CLOSED
+    assert accepted[0].state is TCPState.CLOSED
+    assert closed == [True]
+
+
+def test_send_before_established_raises(wire):
+    sim, client, listener, accepted = _pair(wire)
+    with pytest.raises(RuntimeError):
+        client.send_message(_Msg(10, "early"))
+
+
+def test_listener_demuxes_multiple_clients(wire):
+    sim, host_a, host_b = wire
+    accepted = []
+    TCPListener(sim, host_b, 443, accepted.append)
+    clients = [
+        TCPConnection(sim, host_a, 50000 + index, host_b.endpoint(443))
+        for index in range(3)
+    ]
+    for client in clients:
+        client.connect()
+    sim.run_until(1.0)
+    assert len(accepted) == 3
+    assert all(conn.state is TCPState.ESTABLISHED for conn in accepted)
+
+
+def test_duplicate_syn_handled(wire, trace):
+    """A retransmitted SYN must not create a second connection."""
+    sim, host_a, host_b = wire
+    accepted = []
+    TCPListener(sim, host_b, 443, accepted.append)
+    client = TCPConnection(sim, host_a, 50000, host_b.endpoint(443))
+    client.connect()
+    sim.run_until(2.0)
+    assert len(accepted) == 1
+
+
+def test_on_writable_called_as_acks_arrive(wire):
+    sim, client, listener, accepted = _pair(wire)
+    client.connect()
+    sim.run_until(0.1)
+    calls = []
+    client.on_writable = lambda: calls.append(sim.now)
+    client.send_message(_Msg(50_000, "big"))
+    sim.run_until(3.0)
+    assert calls  # progress ACKs fired the writable callback
+    assert client.unacked_buffered_bytes == 0
+
+
+def test_retransmission_recovers_from_loss():
+    """Data crosses a lossy link; retransmissions fill every hole."""
+    sim_topology = build_adversary_path(
+        seed=5,
+        server_link_config=LinkConfig(propagation_delay=0.01, loss_rate=0.05),
+    )
+    sim = sim_topology.sim
+    trace = sim_topology.trace
+    accepted = []
+    TCPListener(sim, sim_topology.server, 443, accepted.append, trace=trace)
+    client = TCPConnection(
+        sim, sim_topology.client, 50000,
+        sim_topology.server.endpoint(443), trace=trace, name="client:lossy",
+    )
+    received = []
+    client.connect()
+    sim.run_until(1.0)
+    assert accepted, "handshake must survive loss"
+    accepted[0].on_message = lambda m, dup: received.append(m.name)
+    for index in range(30):
+        client.send_message(_Msg(3000, f"m{index}"))
+    sim.run_until(30.0)
+    assert received == [f"m{index}" for index in range(30)]
+    assert trace.count(category="tcp.retransmit") > 0
+
+
+def test_go_back_n_after_drop_burst():
+    """An 80% drop window wedges the stream only transiently."""
+    from repro.netsim.middlebox import PacketAction
+
+    topology = build_adversary_path(seed=6)
+    sim, trace = topology.sim, topology.trace
+
+    class _WindowDrop:
+        def __init__(self):
+            self.active = False
+            self.rng = RandomStreams(1)
+
+        def classify(self, packet, direction, now):
+            if self.active and packet.payload_bytes > 0:
+                if self.rng.stream("d").random() < 0.8:
+                    return Verdict.drop()
+            return Verdict.forward()
+
+    dropper = _WindowDrop()
+    topology.middlebox.add_filter(Direction.SERVER_TO_CLIENT, dropper)
+
+    accepted = []
+    TCPListener(sim, topology.server, 443, accepted.append, trace=trace)
+    client = TCPConnection(
+        sim, topology.client, 50000, topology.server.endpoint(443),
+        trace=trace, name="client:burst",
+    )
+    received = []
+    client.on_message = lambda m, dup: received.append(m.name)
+    client.connect()
+    sim.run_until(0.5)
+    sim.schedule(0.0, lambda: setattr(dropper, "active", True))
+    sim.schedule(3.0, lambda: setattr(dropper, "active", False))
+    for index in range(40):
+        accepted[0].send_message(_Msg(2000, f"m{index}"))
+    sim.run_until(30.0)
+    assert received == [f"m{index}" for index in range(40)]
+
+
+def test_duplicate_delivery_quirk(wire):
+    """With the quirk on, a retransmitted covered message re-delivers."""
+    sim, host_a, host_b = wire
+    accepted = []
+    TCPListener(
+        sim, host_b, 443, accepted.append,
+        config=TCPConfig(deliver_duplicate_messages=True),
+    )
+    client = TCPConnection(sim, host_a, 50000, host_b.endpoint(443))
+    client.connect()
+    sim.run_until(0.1)
+    deliveries = []
+    accepted[0].on_message = lambda m, dup: deliveries.append((m.name, dup))
+    client.send_message(_Msg(300, "req"))
+    sim.run_until(0.5)
+    # Manually retransmit the request segment (as an RTO would).
+    client._send_data_segment(0, 300, retransmission=True)
+    sim.run_until(1.0)
+    assert ("req", False) in deliveries
+    assert ("req", True) in deliveries
+
+
+def test_no_duplicate_delivery_without_quirk(wire):
+    sim, host_a, host_b = wire
+    accepted = []
+    TCPListener(
+        sim, host_b, 443, accepted.append,
+        config=TCPConfig(deliver_duplicate_messages=False),
+    )
+    client = TCPConnection(sim, host_a, 50000, host_b.endpoint(443))
+    client.connect()
+    sim.run_until(0.1)
+    deliveries = []
+    accepted[0].on_message = lambda m, dup: deliveries.append((m.name, dup))
+    client.send_message(_Msg(300, "req"))
+    sim.run_until(0.5)
+    client._send_data_segment(0, 300, retransmission=True)
+    sim.run_until(1.0)
+    assert deliveries == [("req", False)]

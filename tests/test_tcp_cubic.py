@@ -1,0 +1,137 @@
+"""Tests for CUBIC congestion control."""
+
+import pytest
+
+from repro.tcp.config import TCPConfig
+from repro.tcp.congestion import (
+    CubicCongestionControl,
+    RenoCongestionControl,
+    make_congestion_control,
+)
+from repro.tcp.connection import TCPConnection
+from repro.tcp.listener import TCPListener
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _cubic(clock=None, iw=10):
+    clock = clock or _Clock()
+    return CubicCongestionControl(1000, clock, iw), clock
+
+
+def test_cubic_slow_start():
+    cc, clock = _cubic(iw=1)
+    cc.on_ack_progress(1000, snd_una=1000)
+    assert cc.cwnd == 2000
+    assert cc.in_slow_start
+
+
+def test_cubic_loss_reduces_by_beta():
+    cc, clock = _cubic()
+    cc.on_fast_retransmit(flight_size=10_000, snd_nxt=10_000)
+    assert cc.ssthresh == 7000  # 0.7 × 10000
+    assert cc.in_recovery
+
+
+def test_cubic_concave_regrowth_toward_w_max():
+    """After a loss the window climbs back toward w_max along the
+    cubic curve: fast at first, flattening near w_max."""
+    cc, clock = _cubic(iw=100)  # 100 KB window
+    cc.ssthresh = 1  # force congestion avoidance
+    cc.on_fast_retransmit(flight_size=100_000, snd_nxt=100_000)
+    cc.on_ack_progress(1000, snd_una=100_000)  # exit recovery, new epoch
+    start = cc.cwnd
+    growth = []
+    for step in range(20):
+        clock.now += 0.5
+        before = cc.cwnd
+        for _ in range(10):
+            cc.on_ack_progress(1000, snd_una=200_000)
+        growth.append(cc.cwnd - before)
+    assert cc.cwnd > start
+    # Early growth exceeds the late-plateau growth (concavity).
+    assert sum(growth[:4]) > sum(growth[8:12])
+
+
+def test_cubic_convex_probing_past_w_max():
+    """Well past K the window exceeds the old w_max (convex region)."""
+    cc, clock = _cubic(iw=20)
+    cc.ssthresh = 1
+    cc.on_fast_retransmit(flight_size=20_000, snd_nxt=20_000)
+    cc.on_ack_progress(1000, snd_una=20_000)
+    for _ in range(200):
+        clock.now += 0.2
+        cc.on_ack_progress(1000, snd_una=100_000)
+    assert cc.cwnd > 20_000  # grew beyond the pre-loss window
+
+
+def test_cubic_timeout_collapses():
+    cc, clock = _cubic()
+    cc.on_timeout(flight_size=10_000)
+    assert cc.cwnd == 1000
+    assert cc.timeouts == 1
+
+
+def test_cubic_tcp_friendly_floor():
+    """CUBIC never grows slower than the emulated Reno window."""
+    cc, clock = _cubic(iw=4)
+    cc.ssthresh = 1
+    cc.on_fast_retransmit(flight_size=4000, snd_nxt=4000)
+    cc.on_ack_progress(1000, snd_una=4000)
+    floor_before = cc.cwnd
+    # Many ACKs with (almost) no time passing: the cubic term is flat,
+    # but the Reno emulation still grows the window.
+    for _ in range(50):
+        clock.now += 0.001
+        cc.on_ack_progress(1000, snd_una=10_000)
+    assert cc.cwnd > floor_before
+
+
+def test_factory_dispatch():
+    clock = _Clock()
+    assert isinstance(
+        make_congestion_control("reno", 1000, 10, clock),
+        RenoCongestionControl,
+    )
+    assert isinstance(
+        make_congestion_control("cubic", 1000, 10, clock),
+        CubicCongestionControl,
+    )
+    with pytest.raises(ValueError):
+        make_congestion_control("bbr", 1000, 10, clock)
+
+
+def test_config_validates_algorithm():
+    with pytest.raises(ValueError):
+        TCPConfig(congestion_control="bbr")
+
+
+def test_cubic_transfer_end_to_end(wire):
+    """A connection configured with CUBIC completes a large transfer."""
+    sim, host_a, host_b = wire
+    accepted = []
+    TCPListener(sim, host_b, 443, accepted.append,
+                config=TCPConfig(congestion_control="cubic"))
+    client = TCPConnection(
+        sim, host_a, 50_000, host_b.endpoint(443),
+        config=TCPConfig(congestion_control="cubic"),
+    )
+    received = []
+
+    class _Msg:
+        wire_length = 200_000
+        name = "big"
+
+    client.connect()
+    sim.run_until(0.1)
+    accepted[0].on_message = lambda m, dup: received.append(m.name)
+    client.send_message(_Msg())
+    sim.run_until(10.0)
+    assert received == ["big"]
+    assert isinstance(client.cc, CubicCongestionControl)

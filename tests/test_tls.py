@@ -1,0 +1,165 @@
+"""Unit and integration tests for the TLS record layer."""
+
+import pytest
+
+from repro.netsim.topology import build_adversary_path
+from repro.tcp.connection import TCPConnection
+from repro.tcp.listener import TCPListener
+from repro.tls.cipher import AES_128_GCM_TLS12, AES_128_GCM_TLS13, CipherSpec
+from repro.tls.record import (
+    APPLICATION_DATA,
+    HANDSHAKE,
+    MAX_PLAINTEXT_FRAGMENT,
+    TLS_RECORD_HEADER_BYTES,
+    TLSRecord,
+)
+from repro.tls.session import TLSRole, TLSSession
+
+
+class _Payload:
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return f"_Payload({self.name})"
+
+
+# -- CipherSpec / TLSRecord -----------------------------------------------------
+
+def test_cipher_overhead_applied():
+    assert AES_128_GCM_TLS12.ciphertext_length(100) == 124
+    assert AES_128_GCM_TLS13.ciphertext_length(100) == 117
+
+
+def test_cipher_negative_plaintext_raises():
+    with pytest.raises(ValueError):
+        AES_128_GCM_TLS12.ciphertext_length(-1)
+
+
+def test_cipher_negative_overhead_raises():
+    with pytest.raises(ValueError):
+        CipherSpec("bad", -1)
+
+
+def test_record_wire_length():
+    record = TLSRecord(APPLICATION_DATA, 1000)
+    assert record.wire_length == TLS_RECORD_HEADER_BYTES + 1000 + 24
+
+
+def test_record_fragment_bounds():
+    with pytest.raises(ValueError):
+        TLSRecord(APPLICATION_DATA, 0)
+    with pytest.raises(ValueError):
+        TLSRecord(APPLICATION_DATA, MAX_PLAINTEXT_FRAGMENT + 1)
+    TLSRecord(APPLICATION_DATA, MAX_PLAINTEXT_FRAGMENT)  # boundary ok
+
+
+def test_record_unknown_type_raises():
+    with pytest.raises(ValueError):
+        TLSRecord(99, 100)
+
+
+def test_record_is_application_data():
+    assert TLSRecord(APPLICATION_DATA, 1).is_application_data
+    assert not TLSRecord(HANDSHAKE, 1).is_application_data
+
+
+def test_record_ids_unique():
+    a = TLSRecord(APPLICATION_DATA, 1)
+    b = TLSRecord(APPLICATION_DATA, 1)
+    assert a.record_id != b.record_id
+
+
+# -- TLSSession over TCP ------------------------------------------------------------
+
+def _tls_pair():
+    topology = build_adversary_path(seed=11)
+    sim = topology.sim
+    server_sessions = []
+
+    def on_accept(connection):
+        server_sessions.append(TLSSession(connection, TLSRole.SERVER))
+
+    TCPListener(sim, topology.server, 443, on_accept)
+    client_tcp = TCPConnection(
+        sim, topology.client, 50000, topology.server.endpoint(443),
+        name="client:tls",
+    )
+    client = TLSSession(client_tcp, TLSRole.CLIENT)
+    return sim, client, server_sessions, client_tcp, topology
+
+
+def test_handshake_completes_both_sides():
+    sim, client, server_sessions, client_tcp, _ = _tls_pair()
+    done = []
+    client.on_handshake_complete = lambda: done.append("client")
+    client_tcp.connect()
+    sim.run_until(2.0)
+    assert client.handshake_complete
+    assert server_sessions and server_sessions[0].handshake_complete
+    assert done == ["client"]
+
+
+def test_application_payloads_delivered():
+    sim, client, server_sessions, client_tcp, _ = _tls_pair()
+    received = []
+    client_tcp.connect()
+    sim.run_until(2.0)
+    server_sessions[0].on_application_record = (
+        lambda payload, dup: received.append(payload.name)
+    )
+    client.send_application(_Payload("ping"), 400)
+    sim.run_until(3.0)
+    assert received == ["ping"]
+
+
+def test_large_payload_fragmented_single_delivery():
+    sim, client, server_sessions, client_tcp, _ = _tls_pair()
+    received = []
+    client_tcp.connect()
+    sim.run_until(2.0)
+    server_sessions[0].on_application_record = (
+        lambda payload, dup: received.append(payload.name)
+    )
+    records = client.send_application(_Payload("big"), 50_000)
+    assert len(records) == 4  # ceil(50000 / 16384)
+    sim.run_until(5.0)
+    assert received == ["big"]  # one delivery despite fragmentation
+
+
+def test_send_before_handshake_raises():
+    sim, client, server_sessions, client_tcp, _ = _tls_pair()
+    with pytest.raises(RuntimeError):
+        client.send_application(_Payload("early"), 100)
+
+
+def test_send_zero_length_raises():
+    sim, client, server_sessions, client_tcp, _ = _tls_pair()
+    client_tcp.connect()
+    sim.run_until(2.0)
+    with pytest.raises(ValueError):
+        client.send_application(_Payload("zero"), 0)
+
+
+def test_handshake_records_have_handshake_type():
+    sim, client, server_sessions, client_tcp, topology = _tls_pair()
+    client_tcp.connect()
+    sim.run_until(2.0)
+    types = [
+        content_type
+        for record in topology.middlebox.capture
+        for content_type in record.tls_content_types
+    ]
+    assert HANDSHAKE in types
+
+
+def test_wire_bytes_match_record_model():
+    """Bytes on the wire equal the sum of record wire lengths."""
+    sim, client, server_sessions, client_tcp, topology = _tls_pair()
+    client_tcp.connect()
+    sim.run_until(2.0)
+    records = client.send_application(_Payload("p"), 5_000)
+    sim.run_until(3.0)
+    expected = sum(record.wire_length for record in records)
+    # Sequence space consumed since before the send equals the total.
+    assert client_tcp.layout.next_seq >= expected

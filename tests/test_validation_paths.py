@@ -1,0 +1,105 @@
+"""Validation and error-path tests across public constructors."""
+
+import pytest
+
+from repro.core.adversary import Adversary, AdversaryConfig, AttackPhase
+from repro.core.controller import NetworkController
+from repro.h2.server import ResourceSpec, ServerConfig
+from repro.h2.settings import (
+    H2Settings,
+    default_server_settings,
+    firefox_like_settings,
+)
+from repro.netsim.topology import build_adversary_path
+from repro.simkernel.randomstream import RandomStreams
+from repro.web.browser import BrowserConfig
+
+
+def test_resource_spec_validation():
+    with pytest.raises(ValueError):
+        ResourceSpec("/x", 0)
+    with pytest.raises(ValueError):
+        ResourceSpec("/x", 100, think_time_range=(-1.0, 2.0))
+    with pytest.raises(ValueError):
+        ResourceSpec("/x", 100, think_time_range=(2.0, 1.0))
+    spec = ResourceSpec("/x", 100)
+    assert spec.object_id == "/x"
+
+
+def test_server_config_validation():
+    with pytest.raises(ValueError):
+        ServerConfig(chunk_bytes=0)
+    with pytest.raises(ValueError):
+        ServerConfig(think_time=-1)
+    with pytest.raises(ValueError):
+        ServerConfig(chunk_interval=-1)
+
+
+def test_settings_profiles():
+    firefox = firefox_like_settings()
+    assert firefox.initial_window_size == 12 * 1024 * 1024
+    server = default_server_settings()
+    assert server.max_concurrent_streams == 128
+    # Identical settings diff to nothing.
+    assert H2Settings().changed_from(H2Settings()) == {}
+
+
+def test_settings_changed_from_every_field():
+    custom = H2Settings(
+        header_table_size=8192,
+        enable_push=False,
+        max_concurrent_streams=7,
+        initial_window_size=100_000,
+        max_frame_size=32_768,
+        max_header_list_size=500,
+    )
+    diff = custom.changed_from(H2Settings())
+    assert len(diff) == 6
+
+
+def test_adversary_phases_enum_values():
+    assert AttackPhase.IDLE.value == "idle"
+    assert AttackPhase.ESCALATED.value == "escalated"
+
+
+def test_adversary_trigger_ignored_outside_spacing_phase():
+    topology = build_adversary_path(seed=99)
+    controller = NetworkController(
+        topology.sim, topology.middlebox, RandomStreams(1)
+    )
+    adversary = Adversary(controller, AdversaryConfig())
+    # Not armed: a stray trigger does nothing.
+    adversary._on_trigger(0.0)
+    assert adversary.phase is AttackPhase.IDLE
+    assert adversary.trigger_time is None
+
+
+def test_adversary_double_trigger_idempotent():
+    topology = build_adversary_path(seed=99)
+    controller = NetworkController(
+        topology.sim, topology.middlebox, RandomStreams(1)
+    )
+    adversary = Adversary(controller, AdversaryConfig(enable_drops=False))
+    adversary.arm()
+    adversary._on_trigger(1.0)
+    first_time = adversary.trigger_time
+    adversary._on_trigger(2.0)
+    assert adversary.trigger_time == first_time
+
+
+def test_browser_config_defaults_sane():
+    config = BrowserConfig()
+    assert config.reset_timeout > 0
+    assert config.max_resets >= 1
+    assert config.reset_backoff >= 1.0
+
+
+def test_bandwidth_limit_none_is_lifted():
+    topology = build_adversary_path(seed=99)
+    controller = NetworkController(
+        topology.sim, topology.middlebox, RandomStreams(1)
+    )
+    controller.limit_bandwidth(1e6)
+    controller.limit_bandwidth(None)
+    from repro.netsim.capture import Direction
+    assert topology.middlebox._throttle[Direction.CLIENT_TO_SERVER] is None

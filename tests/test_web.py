@@ -1,0 +1,191 @@
+"""Unit tests for the web model: objects, sites, isidewith, workload."""
+
+import pytest
+
+from repro.web.isidewith import (
+    GAP_BEFORE_HTML,
+    HTML_OBJECT_ID,
+    PARTIES,
+    PARTY_IMAGE_SIZES,
+    RESULT_HTML_BYTES,
+    build_isidewith_site,
+)
+from repro.web.objects import WebObject
+from repro.web.site import LoadSchedule, ScheduledRequest, Website
+from repro.web.workload import VolunteerWorkload
+from repro.simkernel.randomstream import RandomStreams
+
+
+# -- WebObject ---------------------------------------------------------------
+
+def test_web_object_defaults_object_id_to_path():
+    obj = WebObject("/x.png", 100, "image/png")
+    assert obj.object_id == "/x.png"
+
+
+def test_web_object_resource_spec_roundtrip():
+    obj = WebObject("/x.png", 100, "image/png", object_id="X",
+                    think_time_range=(0.001, 0.002))
+    spec = obj.resource_spec()
+    assert spec.path == "/x.png"
+    assert spec.body_bytes == 100
+    assert spec.object_id == "X"
+    assert spec.think_time_range == (0.001, 0.002)
+
+
+def test_web_object_positive_size():
+    with pytest.raises(ValueError):
+        WebObject("/x", 0)
+
+
+# -- Website / LoadSchedule ------------------------------------------------------
+
+def test_website_router_and_404():
+    site = Website("w", [WebObject("/a", 10)])
+    assert site.router("/a").body_bytes == 10
+    assert site.router("/missing") is None
+
+
+def test_website_rejects_duplicate_paths():
+    with pytest.raises(ValueError):
+        Website("w", [WebObject("/a", 1), WebObject("/a", 2)])
+
+
+def test_website_object_by_id():
+    site = Website("w", [WebObject("/a", 10, object_id="A")])
+    assert site.object_by_id("A").path == "/a"
+    with pytest.raises(KeyError):
+        site.object_by_id("B")
+
+
+def test_size_map():
+    site = Website("w", [WebObject("/a", 10, object_id="A")])
+    assert site.size_map() == {"A": 10}
+
+
+def test_schedule_request_times_cumulative():
+    schedule = LoadSchedule([
+        ScheduledRequest(0.1, WebObject("/a", 1)),
+        ScheduledRequest(0.2, WebObject("/b", 1)),
+    ])
+    assert schedule.request_times() == [pytest.approx(0.1), pytest.approx(0.3)]
+
+
+def test_schedule_index_of():
+    schedule = LoadSchedule([
+        ScheduledRequest(0.1, WebObject("/a", 1, object_id="A")),
+        ScheduledRequest(0.2, WebObject("/b", 1, object_id="B")),
+    ])
+    assert schedule.index_of("B") == 1
+    with pytest.raises(KeyError):
+        schedule.index_of("C")
+
+
+def test_schedule_rejects_empty():
+    with pytest.raises(ValueError):
+        LoadSchedule([])
+
+
+def test_scheduled_request_negative_gap():
+    with pytest.raises(ValueError):
+        ScheduledRequest(-0.1, WebObject("/a", 1))
+
+
+# -- isidewith -------------------------------------------------------------------
+
+def test_isidewith_html_is_sixth_request():
+    site = build_isidewith_site(PARTIES)
+    assert site.html_index == 5  # 0-based → the 6th request
+    assert site.schedule[site.html_index].obj.object_id == HTML_OBJECT_ID
+    assert site.schedule[site.html_index].obj.size == RESULT_HTML_BYTES
+
+
+def test_isidewith_has_48_embedded_plus_html():
+    site = build_isidewith_site(PARTIES)
+    assert len(site.website) == 49  # HTML + 48 embedded objects
+    assert len(site.schedule) == 49  # every object requested once
+
+
+def test_isidewith_images_in_preference_order():
+    order = tuple(reversed(PARTIES))
+    site = build_isidewith_site(order)
+    scheduled = [
+        site.schedule[index].obj.object_id for index in site.image_indices
+    ]
+    assert scheduled == [f"emblem-{party}" for party in order]
+
+
+def test_isidewith_images_are_script_triggered():
+    site = build_isidewith_site(PARTIES)
+    for index, request in enumerate(site.schedule):
+        expected = index in site.image_indices
+        assert request.script_triggered == expected
+
+
+def test_isidewith_emblem_sizes_distinct():
+    assert len(set(PARTY_IMAGE_SIZES.values())) == 8
+    assert all(5000 <= size <= 16000 for size in PARTY_IMAGE_SIZES.values())
+
+
+def test_isidewith_table2_gaps():
+    site = build_isidewith_site(PARTIES)
+    assert site.schedule[site.html_index].gap == GAP_BEFORE_HTML
+    first_image = site.image_indices[0]
+    assert site.schedule[first_image].gap == pytest.approx(0.780)
+    # Sub-millisecond gaps between consecutive images (Table II).
+    for index in site.image_indices[1:]:
+        assert site.schedule[index].gap <= 0.002
+
+
+def test_isidewith_invalid_party_order():
+    with pytest.raises(ValueError):
+        build_isidewith_site(("democratic",) * 8)
+
+
+def test_isidewith_gap_noise_requires_rng():
+    with pytest.raises(ValueError):
+        build_isidewith_site(PARTIES, gap_noise=0.1)
+
+
+def test_isidewith_gap_noise_perturbs():
+    rng = RandomStreams(1)
+    noisy = build_isidewith_site(PARTIES, gap_noise=0.2, rng=rng)
+    clean = build_isidewith_site(PARTIES)
+    noisy_gaps = [request.gap for request in noisy.schedule]
+    clean_gaps = [request.gap for request in clean.schedule]
+    assert noisy_gaps != clean_gaps
+    for noisy_gap, clean_gap in zip(noisy_gaps, clean_gaps):
+        assert 0.79 * clean_gap <= noisy_gap <= 1.21 * clean_gap
+
+
+def test_objects_of_interest_lists_nine():
+    site = build_isidewith_site(PARTIES)
+    interest = site.objects_of_interest
+    assert len(interest) == 9
+    assert interest[0] == HTML_OBJECT_ID
+
+
+# -- workload ---------------------------------------------------------------------
+
+def test_workload_orders_reproducible():
+    first = VolunteerWorkload(seed=5).party_order_for(3)
+    second = VolunteerWorkload(seed=5).party_order_for(3)
+    assert first == second
+
+
+def test_workload_orders_vary_by_trial():
+    workload = VolunteerWorkload(seed=5)
+    orders = {workload.party_order_for(trial) for trial in range(10)}
+    assert len(orders) > 5
+
+
+def test_workload_session_matches_order():
+    workload = VolunteerWorkload(seed=5)
+    session = workload.session(2)
+    assert session.party_order == workload.party_order_for(2)
+
+
+def test_workload_sessions_iterator():
+    workload = VolunteerWorkload(seed=5)
+    sessions = list(workload.sessions(3))
+    assert [trial for trial, _ in sessions] == [0, 1, 2]
