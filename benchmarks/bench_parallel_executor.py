@@ -1,0 +1,64 @@
+"""Serial vs multiprocess trial execution on a Table I slice.
+
+Runs the same seeded jitter sweep twice — ``workers=1`` (in-process)
+and ``workers=N`` (spawn pool) — and checks the determinism contract:
+the rendered tables must be byte-identical.  Wall times and the
+speedup are printed; the speedup itself is only *asserted* when the
+host has enough cores to make the claim meaningful (set
+``REPRO_BENCH_ASSERT_SPEEDUP=1`` to force the assertion).
+
+Trial count defaults to the quick profile; set ``REPRO_TRIALS=20`` to
+reproduce the acceptance configuration.
+"""
+
+import os
+import time
+
+from conftest import trials
+
+from repro.experiments import table1
+from repro.experiments.executor import resolve_workers
+
+#: Table I slice used for the comparison (baseline + two jitter levels).
+DELAYS = (0.0, 0.050, 0.100)
+
+
+def _parallel_workers() -> int:
+    """Worker count for the parallel leg: REPRO_WORKERS, else all cores."""
+    if os.environ.get("REPRO_WORKERS"):
+        return resolve_workers(None)
+    return max(2, os.cpu_count() or 2)
+
+
+def test_bench_parallel_executor():
+    count = trials(8)
+    workers = _parallel_workers()
+
+    start = time.perf_counter()
+    serial = table1.run(trials=count, seed=7, delays=DELAYS, workers=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = table1.run(trials=count, seed=7, delays=DELAYS,
+                          workers=workers)
+    parallel_seconds = time.perf_counter() - start
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    print()
+    print(serial.render())
+    print(f"serial   (workers=1): {serial_seconds:6.2f}s")
+    print(f"parallel (workers={workers}): {parallel_seconds:6.2f}s")
+    print(f"speedup: {speedup:.2f}x over {count} trials x {len(DELAYS)} delays")
+
+    # The determinism contract holds on any machine.
+    assert serial.render() == parallel.render()
+
+    # The speedup claim only makes sense with real parallel hardware.
+    cores = os.cpu_count() or 1
+    if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1" or (
+        cores >= 4 and workers >= 4 and count >= 20
+    ):
+        assert speedup >= 2.5, (
+            f"expected >=2.5x with {workers} workers on {cores} cores, "
+            f"got {speedup:.2f}x"
+        )

@@ -1,13 +1,32 @@
 """The reproduction scorecard: every headline paper number vs measured,
-with a per-row shape verdict.  The whole reproduction in one table."""
+with a per-row shape verdict.  The whole reproduction in one table.
+
+Besides the rendered table, the run writes ``BENCH_scorecard.json`` at
+the repo root — per-experiment wall time plus every row's measured
+value — so CI and tooling can diff reproduction health across runs.
+"""
+
+import os
+from pathlib import Path
 
 from conftest import trials
 
 from repro.experiments import scorecard
+
+#: Machine-readable scorecard dropped at the repo root (next to
+#: pyproject.toml); override the location with REPRO_SCORECARD_JSON.
+SCORECARD_JSON = Path(
+    os.environ.get(
+        "REPRO_SCORECARD_JSON",
+        Path(__file__).resolve().parent.parent / "BENCH_scorecard.json",
+    )
+)
 
 
 def test_bench_scorecard(run_once):
     card = run_once(scorecard.run, trials=trials(12), seed=7)
     print()
     print(card.render())
+    SCORECARD_JSON.write_text(card.to_json() + "\n", encoding="utf-8")
+    print(f"wrote {SCORECARD_JSON}")
     assert card.all_shapes_hold

@@ -26,7 +26,14 @@ Quick start::
 
 from repro.core.adversary import Adversary, AdversaryConfig
 from repro.core.sequence import SequenceAttackResult
-from repro.experiments.harness import TrialConfig, TrialResult, run_trial
+from repro.experiments.executor import TrialExecutor
+from repro.experiments.harness import (
+    TrialConfig,
+    TrialResult,
+    TrialSummary,
+    run_trial,
+    summarize_trial,
+)
 from repro.web.workload import VolunteerWorkload
 
 __version__ = "1.0.0"
@@ -36,10 +43,13 @@ __all__ = [
     "AdversaryConfig",
     "SequenceAttackResult",
     "TrialConfig",
+    "TrialExecutor",
     "TrialResult",
+    "TrialSummary",
     "VolunteerWorkload",
     "quick_attack",
     "run_trial",
+    "summarize_trial",
 ]
 
 

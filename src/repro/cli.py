@@ -11,6 +11,10 @@ Runs any of the paper's experiments and prints its table:
     python -m repro delay
     python -m repro ablations          # all five E8 studies
     python -m repro attack --trial 3   # one annotated session
+    python -m repro table1 --trials 100 --workers 8   # parallel trials
+
+Worker processes (``--workers`` / ``REPRO_WORKERS``) parallelize trial
+execution; results are bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -48,34 +52,55 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trial", type=int, default=0,
         help="volunteer index (attack experiment only)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help=(
+            "worker processes for trial execution (default: the "
+            "REPRO_WORKERS environment variable, else 1 = serial); "
+            "results are identical for any worker count"
+        ),
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    from repro.experiments.executor import resolve_workers
+    try:
+        resolve_workers(args.workers)
+    except ValueError as error:
+        parser.error(str(error))
 
     if args.experiment == "baseline":
         from repro.experiments import baseline
-        print(baseline.run(trials=args.trials, seed=args.seed).render())
+        print(baseline.run(trials=args.trials, seed=args.seed,
+                           workers=args.workers).render())
     elif args.experiment == "table1":
         from repro.experiments import table1
-        print(table1.run(trials=args.trials, seed=args.seed).render())
+        print(table1.run(trials=args.trials, seed=args.seed,
+                         workers=args.workers).render())
     elif args.experiment == "table2":
         from repro.experiments import table2
-        print(table2.run(trials=args.trials, seed=args.seed).render())
+        print(table2.run(trials=args.trials, seed=args.seed,
+                         workers=args.workers).render())
     elif args.experiment == "fig1":
         from repro.experiments import fig1
         print(fig1.run(seed=args.seed).render())
     elif args.experiment == "fig5":
         from repro.experiments import fig5
-        print(fig5.run(trials=args.trials, seed=args.seed).render())
+        print(fig5.run(trials=args.trials, seed=args.seed,
+                       workers=args.workers).render())
     elif args.experiment == "fig6":
         from repro.experiments import fig6
-        print(fig6.run(trials=args.trials, seed=args.seed).render())
+        print(fig6.run(trials=args.trials, seed=args.seed,
+                       workers=args.workers).render())
     elif args.experiment == "delay":
         from repro.experiments import delay_ablation
-        print(delay_ablation.run(trials=args.trials, seed=args.seed).render())
+        print(delay_ablation.run(trials=args.trials, seed=args.seed,
+                                 workers=args.workers).render())
     elif args.experiment == "ablations":
         from repro.experiments import ablations
         small = max(4, args.trials // 3)
@@ -92,32 +117,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         for index, study in enumerate(studies):
             if index:
                 print()
-            print(study(trials=small, seed=args.seed).render())
+            print(study(trials=small, seed=args.seed,
+                        workers=args.workers).render())
     elif args.experiment == "trigger":
         from repro.experiments import trigger_study
         print(trigger_study.run(
             trials=args.trials, training_trials=max(8, args.trials),
-            seed=args.seed,
+            seed=args.seed, workers=args.workers,
         ).render())
     elif args.experiment == "streaming":
         from repro.experiments import streaming_study
         print(streaming_study.run(
-            trials=max(3, args.trials // 3), seed=args.seed
+            trials=max(3, args.trials // 3), seed=args.seed,
+            workers=args.workers,
         ).render())
     elif args.experiment == "partialmux":
         from repro.experiments import partial_mux
-        print(partial_mux.run(trials=args.trials, seed=args.seed).render())
+        print(partial_mux.run(trials=args.trials, seed=args.seed,
+                              workers=args.workers).render())
     elif args.experiment == "generalization":
         from repro.experiments import generalization
         print(generalization.run(
-            trials=max(3, args.trials // 4), seed=args.seed
+            trials=max(3, args.trials // 4), seed=args.seed,
+            workers=args.workers,
         ).render())
     elif args.experiment == "fingerprint":
         from repro.experiments import fingerprint_study
-        print(fingerprint_study.run(seed=args.seed).render())
+        print(fingerprint_study.run(seed=args.seed,
+                                    workers=args.workers).render())
     elif args.experiment == "scorecard":
         from repro.experiments import scorecard
-        card = scorecard.run(trials=args.trials, seed=args.seed)
+        card = scorecard.run(trials=args.trials, seed=args.seed,
+                             workers=args.workers)
         print(card.render())
         return 0 if card.all_shapes_hold else 1
     elif args.experiment == "attack":

@@ -24,14 +24,21 @@ Five studies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.adversary import AdversaryConfig
 from repro.core.defenses import PriorityShuffleDefense
 from repro.core.estimator import SizeEstimator
 from repro.core.monitor import TrafficMonitor
 from repro.core.predictor import SizePredictor
-from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.executor import TrialExecutor
+from repro.experiments.harness import (
+    SpacingSetup,
+    TrialConfig,
+    TrialSummary,
+    summarize_result,
+    summarize_trial,
+)
 from repro.experiments.report import format_table, percentage
 from repro.h1.client import H1Client
 from repro.h1.server import H1Server
@@ -61,25 +68,35 @@ class QuirkResult:
         )
 
 
-def run_quirk(trials: int = 20, seed: int = 7,
-              spacing: float = 0.050) -> QuirkResult:
+@dataclass(frozen=True)
+class _QuirkTrial:
+    seed: int
+    spacing: float
+    quirk: bool
+
+    def __call__(self, trial: int) -> TrialSummary:
+        workload = VolunteerWorkload(seed=self.seed)
+        config = TrialConfig(
+            server=ServerConfig(serve_duplicate_requests=self.quirk),
+            controller_setup=SpacingSetup(self.spacing),
+        )
+        return summarize_trial(trial, workload, config, analyze=False)
+
+
+def run_quirk(trials: int = 20, seed: int = 7, spacing: float = 0.050,
+              workers: Optional[int] = None) -> QuirkResult:
     """Jitter sweep point at 50 ms with the quirk on vs off."""
-    workload = VolunteerWorkload(seed=seed)
+    executor = TrialExecutor(workers=workers)
     result = QuirkResult()
     for quirk in (True, False):
         not_multiplexed = 0
         duplicates = 0
-        for trial in range(trials):
-            config = TrialConfig(
-                server=ServerConfig(serve_duplicate_requests=quirk),
-                controller_setup=(
-                    lambda controller: controller.install_spacing(spacing)
-                ),
-            )
-            outcome = run_trial(trial, workload, config)
-            if outcome.report.min_degree(HTML_OBJECT_ID) == 0.0:
+        for summary in executor.map_trials(
+            trials, _QuirkTrial(seed, spacing, quirk)
+        ):
+            if summary.min_degree(HTML_OBJECT_ID) == 0.0:
                 not_multiplexed += 1
-            duplicates += outcome.duplicate_servings()
+            duplicates += summary.duplicate_servings
         result.rows_data.append([
             "on (paper)" if quirk else "off (textbook TCP)",
             f"{percentage(not_multiplexed, trials):.0f}%",
@@ -107,18 +124,30 @@ class ActuatorResult:
         )
 
 
-def run_actuator(trials: int = 15, seed: int = 7) -> ActuatorResult:
+@dataclass(frozen=True)
+class _ActuatorTrial:
+    seed: int
+    mode: str
+
+    def __call__(self, trial: int) -> TrialSummary:
+        workload = VolunteerWorkload(seed=self.seed)
+        adversary = AdversaryConfig(jitter_mode=self.mode)
+        return summarize_trial(
+            trial, workload, TrialConfig(adversary=adversary)
+        )
+
+
+def run_actuator(trials: int = 15, seed: int = 7,
+                 workers: Optional[int] = None) -> ActuatorResult:
     """Full attack with a perfect vs noisy spacing actuator."""
-    workload = VolunteerWorkload(seed=seed)
+    executor = TrialExecutor(workers=workers)
     result = ActuatorResult()
     for mode, label in (("ideal", "ideal (no noise)"),
                         ("spacing", "realistic (tc/netem)")):
         fully_correct = 0
         positions_total = 0
-        for trial in range(trials):
-            adversary = AdversaryConfig(jitter_mode=mode)
-            outcome = run_trial(trial, workload, TrialConfig(adversary=adversary))
-            analysis = outcome.analyze()
+        for summary in executor.map_trials(trials, _ActuatorTrial(seed, mode)):
+            analysis = summary.analysis
             correct = sum(
                 1 for object_id in analysis.sequence_truth
                 if analysis.sequence_correct.get(object_id)
@@ -154,23 +183,32 @@ class SchedulerResult:
         )
 
 
-def run_scheduler(trials: int = 15, seed: int = 7) -> SchedulerResult:
+@dataclass(frozen=True)
+class _SchedulerTrial:
+    seed: int
+    fifo: bool
+
+    def __call__(self, trial: int) -> TrialSummary:
+        workload = VolunteerWorkload(seed=self.seed)
+        if self.fifo:
+            outcome = _run_fifo_trial(trial, workload)
+            return summarize_result(outcome)
+        return summarize_trial(trial, workload, TrialConfig())
+
+
+def run_scheduler(trials: int = 15, seed: int = 7,
+                  workers: Optional[int] = None) -> SchedulerResult:
     """Baseline loads under round-robin vs FIFO response scheduling."""
-    workload = VolunteerWorkload(seed=seed)
+    executor = TrialExecutor(workers=workers)
     result = SchedulerResult()
     for fifo in (False, True):
         not_multiplexed = 0
         identified = 0
-        for trial in range(trials):
-            if fifo:
-                outcome = _run_fifo_trial(trial, workload)
-            else:
-                outcome = run_trial(trial, workload, TrialConfig())
-            if outcome.report.min_degree(HTML_OBJECT_ID) == 0.0:
+        for summary in executor.map_trials(trials, _SchedulerTrial(seed, fifo)):
+            if summary.min_degree(HTML_OBJECT_ID) == 0.0:
                 not_multiplexed += 1
-            analysis = outcome.analyze()
-            if analysis.single_object[HTML_OBJECT_ID].identified and \
-                    analysis.single_object[HTML_OBJECT_ID].degree_zero:
+            verdict = summary.analysis.single_object[HTML_OBJECT_ID]
+            if verdict.identified and verdict.degree_zero:
                 identified += 1
         result.rows_data.append([
             "FIFO (sequential)" if fifo else "round-robin (multi-threaded)",
@@ -256,31 +294,53 @@ class DefenseResult:
         )
 
 
-def run_defense(trials: int = 15, seed: int = 7) -> DefenseResult:
+@dataclass(frozen=True)
+class _DefenseTrial:
+    """One attacked load, optionally shuffle-defended.
+
+    Returns the summary plus the wire order actually requested (the
+    parent needs it to score order recovery against the network view).
+    """
+
+    seed: int
+    defense: PriorityShuffleDefense
+    defended: bool
+
+    def __call__(self, trial: int) -> Tuple[TrialSummary, Tuple[str, ...]]:
+        workload = VolunteerWorkload(seed=self.seed)
+        site = workload.session(trial)
+        rng = workload.trial_rng(trial)
+        config = TrialConfig(adversary=AdversaryConfig())
+        wire_order = site.party_order
+        if self.defended:
+            schedule, wire_order = self.defense.apply(site, rng)
+            config.schedule_override = schedule
+        return summarize_trial(trial, workload, config), tuple(wire_order)
+
+
+def run_defense(trials: int = 15, seed: int = 7,
+                workers: Optional[int] = None) -> DefenseResult:
     """Full attack against a vanilla vs a shuffle-defended client."""
     workload = VolunteerWorkload(seed=seed)
     defense = PriorityShuffleDefense()
+    executor = TrialExecutor(workers=workers)
     result = DefenseResult()
     for defended in (False, True):
         truth_positions = 0
         wire_positions = 0
         sizes_found = 0
         size_total = 0
-        for trial in range(trials):
-            site = workload.session(trial)
-            rng = workload.trial_rng(trial)
-            config = TrialConfig(adversary=AdversaryConfig())
-            wire_order = site.party_order
-            if defended:
-                schedule, wire_order = defense.apply(site, rng)
-                config.schedule_override = schedule
-            outcome = run_trial(trial, workload, config)
-            analysis = outcome.analyze()
+        outcomes = executor.map_trials(
+            trials, _DefenseTrial(seed, defense, defended)
+        )
+        for trial, (summary, wire_order) in enumerate(outcomes):
+            analysis = summary.analysis
             predicted = [
                 object_id.replace("emblem-", "")
                 for object_id in analysis.sequence_prediction
             ]
-            for position, party in enumerate(outcome.site.party_order):
+            party_order = workload.party_order_for(trial)
+            for position, party in enumerate(party_order):
                 size_total += 1
                 verdict = analysis.single_object.get(f"emblem-{party}")
                 if verdict is not None and verdict.identified:
@@ -319,27 +379,34 @@ class H1BaselineResult:
         )
 
 
-def run_h1_baseline(trials: int = 10, seed: int = 7) -> H1BaselineResult:
-    """Passive (no adversary) identification rate: HTTP/1.1 vs HTTP/2."""
-    workload = VolunteerWorkload(seed=seed)
-    result = H1BaselineResult()
+@dataclass(frozen=True)
+class _H2PassiveTrial:
+    """One clean (no adversary) HTTP/2 load scored passively."""
 
-    # HTTP/2 side: clean baseline trials.
-    h2_found = 0
-    h2_total = 0
-    for trial in range(trials):
-        outcome = run_trial(trial, workload, TrialConfig())
-        analysis = outcome.analyze()
-        for object_id in outcome.site.objects_of_interest:
-            h2_total += 1
-            verdict = analysis.single_object.get(object_id)
+    seed: int
+
+    def __call__(self, trial: int) -> Tuple[int, int]:
+        workload = VolunteerWorkload(seed=self.seed)
+        site = workload.session(trial)
+        summary = summarize_trial(trial, workload, TrialConfig())
+        found = 0
+        total = 0
+        for object_id in site.objects_of_interest:
+            total += 1
+            verdict = summary.analysis.single_object.get(object_id)
             if verdict is not None and verdict.success:
-                h2_found += 1
+                found += 1
+        return found, total
 
-    # HTTP/1.1 side: same sites over the sequential stack.
-    h1_found = 0
-    h1_total = 0
-    for trial in range(trials):
+
+@dataclass(frozen=True)
+class _H1PassiveTrial:
+    """Same site over the sequential HTTP/1.1 stack, scored passively."""
+
+    seed: int
+
+    def __call__(self, trial: int) -> Tuple[int, int]:
+        workload = VolunteerWorkload(seed=self.seed)
         site = workload.session(trial)
         rng = workload.trial_rng(trial)
         topology = build_adversary_path(seed=rng.master_seed)
@@ -372,10 +439,30 @@ def run_h1_baseline(trials: int = 10, seed: int = 7) -> H1BaselineResult:
             monitor.response_packets(), request_times=request_times
         )
         predictor = SizePredictor(site.size_map(), tolerance_abs=700)
+        found = 0
+        total = 0
         for object_id in site.objects_of_interest:
-            h1_total += 1
+            total += 1
             if predictor.find_object(estimates, object_id) is not None:
-                h1_found += 1
+                found += 1
+        return found, total
+
+
+def run_h1_baseline(trials: int = 10, seed: int = 7,
+                    workers: Optional[int] = None) -> H1BaselineResult:
+    """Passive (no adversary) identification rate: HTTP/1.1 vs HTTP/2."""
+    executor = TrialExecutor(workers=workers)
+    result = H1BaselineResult()
+
+    # HTTP/2 side: clean baseline trials.
+    h2_counts = executor.map_trials(trials, _H2PassiveTrial(seed))
+    h2_found = sum(found for found, _ in h2_counts)
+    h2_total = sum(total for _, total in h2_counts)
+
+    # HTTP/1.1 side: same sites over the sequential stack.
+    h1_counts = executor.map_trials(trials, _H1PassiveTrial(seed))
+    h1_found = sum(found for found, _ in h1_counts)
+    h1_total = sum(total for _, total in h1_counts)
 
     result.rows_data.append(
         ["HTTP/2 (multiplexed)", f"{percentage(h2_found, h2_total):.0f}%"]
@@ -406,35 +493,52 @@ class PushDefenseResult:
         )
 
 
-def run_push_defense(trials: int = 10, seed: int = 7) -> PushDefenseResult:
+@dataclass(frozen=True)
+class _PushDefenseTrial:
+    """One attacked load, optionally against a push-defended server."""
+
+    seed: int
+    defended: bool
+
+    def __call__(self, trial: int) -> TrialSummary:
+        from repro.core.defenses import ServerPushDefense
+
+        workload = VolunteerWorkload(seed=self.seed)
+        config = TrialConfig(adversary=AdversaryConfig())
+        if self.defended:
+            site = workload.session(trial)
+            config.server = ServerConfig(
+                push_map=ServerPushDefense().push_map(site)
+            )
+        return summarize_trial(trial, workload, config)
+
+
+def run_push_defense(trials: int = 10, seed: int = 7,
+                     workers: Optional[int] = None) -> PushDefenseResult:
     """Full attack against a vanilla vs a push-defended server.
 
     The defended server pushes all 8 emblems in a canonical order on
     the HTML's stream; the wire order is user-independent, so the
     recovered sequence decorrelates from the true preference.
     """
-    from repro.core.defenses import ServerPushDefense
-
     workload = VolunteerWorkload(seed=seed)
-    defense = ServerPushDefense()
+    executor = TrialExecutor(workers=workers)
     result = PushDefenseResult()
     for defended in (False, True):
         truth_positions = 0
         completed = 0
-        for trial in range(trials):
-            site = workload.session(trial)
-            config = TrialConfig(adversary=AdversaryConfig())
-            if defended:
-                config.server = ServerConfig(push_map=defense.push_map(site))
-            outcome = run_trial(trial, workload, config)
-            if outcome.completed:
+        summaries = executor.map_trials(
+            trials, _PushDefenseTrial(seed, defended)
+        )
+        for trial, summary in enumerate(summaries):
+            if summary.completed:
                 completed += 1
-            analysis = outcome.analyze()
+            analysis = summary.analysis
             predicted = [
                 object_id.replace("emblem-", "")
                 for object_id in analysis.sequence_prediction
             ]
-            for position, party in enumerate(outcome.site.party_order):
+            for position, party in enumerate(workload.party_order_for(trial)):
                 if position < len(predicted) and predicted[position] == party:
                     truth_positions += 1
         denominator = trials * 8
@@ -465,8 +569,22 @@ class AccountingResult:
         )
 
 
+@dataclass(frozen=True)
+class _AccountingTrial:
+    """One jitter-only attacked load for the success-accounting study."""
+
+    seed: int
+    spacing: float
+
+    def __call__(self, trial: int) -> TrialSummary:
+        workload = VolunteerWorkload(seed=self.seed)
+        config = TrialConfig(controller_setup=SpacingSetup(self.spacing))
+        return summarize_trial(trial, workload, config)
+
+
 def run_success_accounting(
-    trials: int = 15, seed: int = 7, spacing: float = 0.050
+    trials: int = 15, seed: int = 7, spacing: float = 0.050,
+    workers: Optional[int] = None,
 ) -> AccountingResult:
     """Jitter-only attack scored three ways.
 
@@ -475,22 +593,14 @@ def run_success_accounting(
     of the object went out clean versus requiring the *original*
     serving to be clean.  Ground truth separates the criteria exactly.
     """
-    from repro.core.estimator import SizeEstimator as _SE
-    from repro.core.predictor import SizePredictor as _SP
-
-    workload = VolunteerWorkload(seed=seed)
     any_serving = 0
     original_only = 0
     identified_only = 0
-    for trial in range(trials):
-        config = TrialConfig(
-            controller_setup=(
-                lambda controller: controller.install_spacing(spacing)
-            )
-        )
-        outcome = run_trial(trial, workload, config)
-        analysis = outcome.analyze()
-        verdict = analysis.single_object[HTML_OBJECT_ID]
+    summaries = TrialExecutor(workers=workers).map_trials(
+        trials, _AccountingTrial(seed, spacing)
+    )
+    for summary in summaries:
+        verdict = summary.analysis.single_object[HTML_OBJECT_ID]
         if verdict.identified:
             identified_only += 1
             if verdict.degree_zero:
@@ -533,7 +643,27 @@ class TcpVariantResult:
         )
 
 
-def run_tcp_variants(trials: int = 8, seed: int = 7) -> TcpVariantResult:
+@dataclass(frozen=True)
+class _TcpVariantTrial:
+    """One fully attacked load over a specific transport stack."""
+
+    seed: int
+    algorithm: str
+    sack: bool
+
+    def __call__(self, trial: int) -> TrialSummary:
+        from repro.tcp.config import TCPConfig as _TCPConfig
+
+        workload = VolunteerWorkload(seed=self.seed)
+        config = TrialConfig(
+            adversary=AdversaryConfig(),
+            tcp=_TCPConfig(congestion_control=self.algorithm, sack=self.sack),
+        )
+        return summarize_trial(trial, workload, config)
+
+
+def run_tcp_variants(trials: int = 8, seed: int = 7,
+                     workers: Optional[int] = None) -> TcpVariantResult:
     """The full attack under four transport stacks.
 
     The attack manipulates generic TCP mechanisms (timeouts, loss
@@ -541,11 +671,7 @@ def run_tcp_variants(trials: int = 8, seed: int = 7) -> TcpVariantResult:
     — and the drop-phase recovery cost *should* differ (SACK patches
     holes without resending everything).
     """
-    from dataclasses import replace as _replace
-
-    from repro.tcp.config import TCPConfig as _TCPConfig
-
-    workload = VolunteerWorkload(seed=seed)
+    executor = TrialExecutor(workers=workers)
     result = TcpVariantResult()
     variants = [
         ("reno", False),
@@ -558,20 +684,14 @@ def run_tcp_variants(trials: int = 8, seed: int = 7) -> TcpVariantResult:
         successes = 0
         retransmitted = 0
         total_time = 0.0
-        for trial in range(trials):
-            config = TrialConfig(
-                adversary=AdversaryConfig(),
-                tcp=_TCPConfig(congestion_control=algorithm, sack=sack),
-            )
-            outcome = run_trial(trial, workload, config)
-            analysis = outcome.analyze()
-            if analysis.single_object[HTML_OBJECT_ID].success:
+        summaries = executor.map_trials(
+            trials, _TcpVariantTrial(seed, algorithm, sack)
+        )
+        for summary in summaries:
+            if summary.analysis.single_object[HTML_OBJECT_ID].success:
                 successes += 1
-            if outcome.server.connections:
-                retransmitted += (
-                    outcome.server.connections[0].tcp.retransmitted_segments
-                )
-            total_time += outcome.duration
+            retransmitted += summary.server_retransmitted_segments
+            total_time += summary.duration
         result.rows_data.append([
             label,
             f"{percentage(successes, trials):.0f}%",

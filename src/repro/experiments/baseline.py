@@ -14,10 +14,22 @@ from dataclasses import dataclass, field
 from statistics import mean
 from typing import Dict, List, Optional
 
-from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.executor import TrialExecutor
+from repro.experiments.harness import TrialConfig, TrialSummary, summarize_trial
 from repro.experiments.report import format_table, percentage
 from repro.web.isidewith import HTML_OBJECT_ID, PARTIES
 from repro.web.workload import VolunteerWorkload
+
+
+@dataclass(frozen=True)
+class _BaselineTrial:
+    """Picklable per-trial task: one clean (no adversary) page load."""
+
+    seed: int
+
+    def __call__(self, trial: int) -> TrialSummary:
+        workload = VolunteerWorkload(seed=self.seed)
+        return summarize_trial(trial, workload, TrialConfig(), analyze=False)
 
 
 @dataclass
@@ -88,33 +100,39 @@ class BaselineResult:
         return degrees + "\n\n" + timings
 
 
-def run(trials: int = 30, seed: int = 7) -> BaselineResult:
+def run(
+    trials: int = 30, seed: int = 7, workers: Optional[int] = None
+) -> BaselineResult:
     """Run the baseline experiment."""
     workload = VolunteerWorkload(seed=seed)
     result = BaselineResult()
-    for trial in range(trials):
-        outcome = run_trial(trial, workload, TrialConfig())
+    summaries = TrialExecutor(workers=workers).map_trials(
+        trials, _BaselineTrial(seed)
+    )
+    for trial, summary in enumerate(summaries):
         result.trials += 1
-        degree = outcome.report.original_degree(HTML_OBJECT_ID)
+        degree = summary.original_degree(HTML_OBJECT_ID)
         if degree is not None:
             result.html_degrees.append(degree)
             if degree == 0.0:
                 result.html_not_multiplexed += 1
         for party in PARTIES:
-            image_degree = outcome.report.original_degree(f"emblem-{party}")
+            image_degree = summary.original_degree(f"emblem-{party}")
             if image_degree is None:
                 continue
             result.images_observed += 1
             result.image_degrees.append(image_degree)
             if image_degree == 0.0:
                 result.images_not_multiplexed += 1
-        gaps = outcome.monitor.inter_get_gaps()
+        gaps = summary.inter_get_gaps
         if gaps:
             result.mean_get_gaps.append(mean(gaps))
         # Table II timing check: the gateway's measured inter-GET gaps
         # around the objects of interest (a clean load issues exactly
         # the scheduled requests, so schedule positions index the gaps).
-        site = outcome.site
+        # The site is rebuilt locally — sessions are deterministic in
+        # the trial index, and building one runs no simulation.
+        site = workload.session(trial)
         if len(gaps) == len(site.schedule) - 1:
             html_gap_index = site.html_index - 1
             if html_gap_index >= 0:

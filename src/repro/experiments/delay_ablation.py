@@ -13,15 +13,38 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.executor import TrialExecutor
+from repro.experiments.harness import (
+    TrialConfig,
+    TrialSummary,
+    UniformDelaySetup,
+    summarize_trial,
+)
 from repro.experiments.report import format_table, percentage
 from repro.netsim.capture import Direction
 from repro.web.isidewith import HTML_OBJECT_ID
 from repro.web.workload import VolunteerWorkload
 
 DELAYS = (0.0, 0.050, 0.100)
+
+
+@dataclass(frozen=True)
+class _UniformDelayTrial:
+    """Picklable per-trial task for one uniform-delay level."""
+
+    seed: int
+    delay: float
+
+    def __call__(self, trial: int) -> TrialSummary:
+        workload = VolunteerWorkload(seed=self.seed)
+        config = TrialConfig()
+        if self.delay > 0:
+            config.controller_setup = UniformDelaySetup(
+                self.delay, Direction.CLIENT_TO_SERVER
+            )
+        return summarize_trial(trial, workload, config, analyze=False)
 
 
 @dataclass
@@ -63,29 +86,22 @@ def run(
     trials: int = 20,
     seed: int = 7,
     delays: Sequence[float] = DELAYS,
+    workers: Optional[int] = None,
 ) -> DelayAblationResult:
     """Run the uniform-delay ablation."""
-    workload = VolunteerWorkload(seed=seed)
+    executor = TrialExecutor(workers=workers)
     result = DelayAblationResult()
     for delay in delays:
         row = DelayRow(delay=delay)
         gap_means: List[float] = []
-        for trial in range(trials):
-            config = TrialConfig()
-            if delay > 0:
-                config.controller_setup = (
-                    lambda controller, d=delay:
-                    controller.install_uniform_delay(
-                        d, Direction.CLIENT_TO_SERVER
-                    )
-                )
-            outcome = run_trial(trial, workload, config)
+        for summary in executor.map_trials(
+            trials, _UniformDelayTrial(seed, delay)
+        ):
             row.trials += 1
-            if outcome.report.min_degree(HTML_OBJECT_ID) == 0.0:
+            if summary.min_degree(HTML_OBJECT_ID) == 0.0:
                 row.not_multiplexed += 1
-            gaps = outcome.monitor.inter_get_gaps()
-            if gaps:
-                gap_means.append(mean(gaps))
+            if summary.inter_get_gaps:
+                gap_means.append(mean(summary.inter_get_gaps))
         row.mean_get_gap_ms = mean(gap_means) * 1000 if gap_means else 0.0
         result.rows_data.append(row)
     return result

@@ -1,0 +1,141 @@
+"""Parallel trial execution.
+
+Every paper experiment replays ``run_trial`` over a range of trial
+indices.  Each trial is a fully seeded, independent simulation, so the
+sweep is embarrassingly parallel — but a live
+:class:`~repro.experiments.harness.TrialResult` cannot cross a process
+boundary.  :class:`TrialExecutor` therefore maps *picklable task
+callables* over trial indices; tasks run the trial and extract a
+picklable :class:`~repro.experiments.harness.TrialSummary` (or any
+other plain-data result) worker-side.
+
+Backends:
+
+* ``serial``  — a plain in-process loop (the default for 1 worker).
+* ``process`` — a spawn-context :mod:`multiprocessing` pool.  Spawn is
+  used on every platform so workers never inherit forked simulator
+  state, and because tasks must be picklable anyway.
+
+Determinism: trials are seeded from their index alone, dispatch is
+chunked over a fixed index order, and results are returned in trial
+order (``Pool.map`` preserves input order), so aggregates are
+bit-identical regardless of worker count or backend.
+
+Worker count resolution order: explicit ``workers=`` argument, then the
+``REPRO_WORKERS`` environment variable, then 1 (serial).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, List, Optional, TypeVar, Union
+
+T = TypeVar("T")
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+_BACKENDS = ("serial", "process")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: argument, else env, else 1.
+
+    Raises:
+        ValueError: on a non-positive worker count.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                ) from None
+        else:
+            workers = 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+class TrialExecutor:
+    """Maps picklable tasks over trial indices, serially or in a pool.
+
+    Attributes:
+        workers: resolved worker count.
+        backend: ``"serial"`` or ``"process"``.
+        chunk_size: trial indices dispatched per pool task; None picks
+            ~4 chunks per worker so stragglers rebalance.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        if backend is None:
+            backend = "process" if self.workers > 1 else "serial"
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.backend = backend
+        self.chunk_size = chunk_size
+
+    def _chunk_size(self, count: int, workers: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, count // (workers * 4))
+
+    def map_trials(
+        self,
+        trials: Union[int, Iterable[int]],
+        task: Callable[[int], T],
+    ) -> List[T]:
+        """Run ``task(index)`` for every trial index, in index order.
+
+        Args:
+            trials: a trial count (mapped over ``range(trials)``) or an
+                explicit iterable of indices.
+            task: a picklable callable — a module-level function,
+                ``functools.partial`` of one, or an instance of a
+                module-level class defining ``__call__``.  Its return
+                value must be picklable on the process backend.
+
+        Returns:
+            The task results, ordered like the input indices regardless
+            of backend or worker count.
+        """
+        indices = (
+            list(range(trials)) if isinstance(trials, int) else list(trials)
+        )
+        workers = min(self.workers, len(indices))
+        if self.backend == "serial" or workers <= 1:
+            return [task(index) for index in indices]
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=workers) as pool:
+            return pool.map(
+                task, indices, chunksize=self._chunk_size(len(indices), workers)
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"TrialExecutor(workers={self.workers}, backend={self.backend!r})"
+        )
+
+
+def map_trials(
+    trials: Union[int, Iterable[int]],
+    task: Callable[[int], T],
+    workers: Optional[int] = None,
+) -> List[T]:
+    """One-shot convenience wrapper over :class:`TrialExecutor`."""
+    return TrialExecutor(workers=workers).map_trials(trials, task)

@@ -17,9 +17,15 @@ dissects — which our ground truth can separate exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.executor import TrialExecutor
+from repro.experiments.harness import (
+    SpacingAndBandwidthSetup,
+    TrialConfig,
+    TrialSummary,
+    summarize_trial,
+)
 from repro.experiments.report import format_table, percentage
 from repro.simkernel.units import MBPS
 from repro.web.isidewith import HTML_OBJECT_ID
@@ -27,6 +33,27 @@ from repro.web.workload import VolunteerWorkload
 
 #: The paper's sweep, in Mbps.
 BANDWIDTHS_MBPS = (1000, 800, 500, 100, 1)
+
+
+@dataclass(frozen=True)
+class _BandwidthTrial:
+    """Picklable per-trial task for one bandwidth level."""
+
+    seed: int
+    bandwidth_mbps: float
+    jitter_spacing: float
+    burst_bytes: int
+
+    def __call__(self, trial: int) -> TrialSummary:
+        workload = VolunteerWorkload(seed=self.seed)
+        config = TrialConfig(
+            controller_setup=SpacingAndBandwidthSetup(
+                self.jitter_spacing,
+                self.bandwidth_mbps * MBPS,
+                burst_bytes=self.burst_bytes,
+            )
+        )
+        return summarize_trial(trial, workload, config)
 
 
 @dataclass
@@ -78,25 +105,23 @@ def run(
     bandwidths_mbps: Sequence[float] = BANDWIDTHS_MBPS,
     jitter_spacing: float = 0.050,
     burst_bytes: int = 32 * 1024,
+    workers: Optional[int] = None,
 ) -> Fig5Result:
     """Run the bandwidth sweep (jitter active throughout, as in §IV-C)."""
-    workload = VolunteerWorkload(seed=seed)
+    executor = TrialExecutor(workers=workers)
     result = Fig5Result()
     for bandwidth in bandwidths_mbps:
         row = BandwidthRow(bandwidth_mbps=bandwidth)
-        for trial in range(trials):
-            def setup(controller, bw=bandwidth):
-                controller.install_spacing(jitter_spacing)
-                controller.limit_bandwidth(bw * MBPS, burst_bytes=burst_bytes)
-            outcome = run_trial(
-                trial, workload, TrialConfig(controller_setup=setup)
-            )
+        summaries = executor.map_trials(
+            trials,
+            _BandwidthTrial(seed, bandwidth, jitter_spacing, burst_bytes),
+        )
+        for summary in summaries:
             row.trials += 1
-            row.retransmissions += outcome.client_retransmissions()
-            if outcome.broken:
+            row.retransmissions += summary.client_retransmissions
+            if summary.broken:
                 row.broken += 1
-            analysis = outcome.analyze()
-            verdict = analysis.single_object[HTML_OBJECT_ID]
+            verdict = summary.analysis.single_object[HTML_OBJECT_ID]
             if verdict.success:
                 row.successes += 1
             if verdict.success_via_duplicate_only:

@@ -14,15 +14,34 @@ succeeds; at ≥95 % connections start breaking.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.adversary import AdversaryConfig
-from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.executor import TrialExecutor
+from repro.experiments.harness import TrialConfig, TrialSummary, summarize_trial
 from repro.experiments.report import format_table, percentage
 from repro.web.isidewith import HTML_OBJECT_ID
 from repro.web.workload import VolunteerWorkload
 
 DROP_RATES = (0.5, 0.8, 0.95)
+
+
+@dataclass(frozen=True)
+class _DropTrial:
+    """Picklable per-trial task for one drop rate."""
+
+    seed: int
+    drop_rate: float
+
+    def __call__(self, trial: int) -> TrialSummary:
+        workload = VolunteerWorkload(seed=self.seed)
+        adversary = AdversaryConfig(
+            drop_rate=self.drop_rate,
+            enable_escalation=False,
+        )
+        return summarize_trial(
+            trial, workload, TrialConfig(adversary=adversary)
+        )
 
 
 @dataclass
@@ -65,27 +84,20 @@ def run(
     trials: int = 30,
     seed: int = 7,
     drop_rates: Sequence[float] = DROP_RATES,
+    workers: Optional[int] = None,
 ) -> Fig6Result:
     """Run the drop-rate experiment (escalation phase disabled: this is
     the single-object §IV-D study)."""
-    workload = VolunteerWorkload(seed=seed)
+    executor = TrialExecutor(workers=workers)
     result = Fig6Result()
     for drop_rate in drop_rates:
         row = DropRow(drop_rate=drop_rate)
-        for trial in range(trials):
-            adversary = AdversaryConfig(
-                drop_rate=drop_rate,
-                enable_escalation=False,
-            )
-            outcome = run_trial(
-                trial, workload, TrialConfig(adversary=adversary)
-            )
+        for summary in executor.map_trials(trials, _DropTrial(seed, drop_rate)):
             row.trials += 1
-            row.resets_observed += outcome.browser.resets_sent
-            if outcome.broken:
+            row.resets_observed += summary.browser_resets
+            if summary.broken:
                 row.broken += 1
-            analysis = outcome.analyze()
-            if analysis.single_object[HTML_OBJECT_ID].success:
+            if summary.analysis.single_object[HTML_OBJECT_ID].success:
                 row.successes += 1
         result.rows_data.append(row)
     return result

@@ -20,6 +20,7 @@ from repro.core.controller import NetworkController
 from repro.core.estimator import SizeEstimator
 from repro.core.fingerprint import PageFingerprinter, trace_features
 from repro.core.monitor import TrafficMonitor
+from repro.experiments.executor import TrialExecutor
 from repro.experiments.report import format_table, percentage
 from repro.h2.client import H2Client
 from repro.h2.server import H2Server, ServerConfig
@@ -111,6 +112,39 @@ def _visit(
     return TrafficMonitor(topology.middlebox.capture)
 
 
+@dataclass(frozen=True)
+class _FingerprintVisit:
+    """One page visit of the closed world, featurized worker-side.
+
+    The visit index enumerates ``pages × visits_per_page`` loads; the
+    world is rebuilt from the seed in the worker (all substreams are
+    key-derived, so the rebuild is bit-identical to the parent's).
+    Returns ``(label, visit, features)``.
+    """
+
+    seed: int
+    pages: int
+    visits_per_page: int
+    attacked: bool
+
+    def __call__(self, index: int) -> Tuple[str, int, List[float]]:
+        master = RandomStreams(self.seed)
+        world = build_closed_world(master.spawn("world"), pages=self.pages)
+        label = f"page{index // self.visits_per_page}"
+        visit = index % self.visits_per_page
+        website = world[label]
+        rng = master.spawn(
+            f"visit-{label}-{visit}-{'atk' if self.attacked else 'base'}"
+        )
+        monitor = _visit(website, rng, self.attacked)
+        # A patient estimator: these pages carry objects large enough
+        # that slow-start stalls occur mid-transfer.
+        features = trace_features(
+            monitor, estimator=SizeEstimator(delimiter_gap=0.040)
+        )
+        return label, visit, list(features)
+
+
 @dataclass
 class FingerprintStudyResult:
     rows_data: List[List[str]] = field(default_factory=list)
@@ -133,10 +167,11 @@ def run(
     train_visits: int = 3,
     test_visits: int = 2,
     seed: int = 7,
+    workers: Optional[int] = None,
 ) -> FingerprintStudyResult:
     """Train/test the fingerprinter under both conditions."""
-    master = RandomStreams(seed)
-    world = build_closed_world(master.spawn("world"), pages=pages)
+    executor = TrialExecutor(workers=workers)
+    visits_per_page = train_visits + test_visits
     result = FingerprintStudyResult(chance_pct=100.0 / pages)
 
     for attacked in (False, True):
@@ -144,23 +179,17 @@ def run(
         train_labels: List[str] = []
         test_features: List[List[float]] = []
         test_labels: List[str] = []
-        for label, website in world.items():
-            for visit in range(train_visits + test_visits):
-                rng = master.spawn(
-                    f"visit-{label}-{visit}-{'atk' if attacked else 'base'}"
-                )
-                monitor = _visit(website, rng, attacked)
-                # A patient estimator: these pages carry objects large
-                # enough that slow-start stalls occur mid-transfer.
-                features = trace_features(
-                    monitor, estimator=SizeEstimator(delimiter_gap=0.040)
-                )
-                if visit < train_visits:
-                    train_features.append(features)
-                    train_labels.append(label)
-                else:
-                    test_features.append(features)
-                    test_labels.append(label)
+        visits = executor.map_trials(
+            pages * visits_per_page,
+            _FingerprintVisit(seed, pages, visits_per_page, attacked),
+        )
+        for label, visit, features in visits:
+            if visit < train_visits:
+                train_features.append(features)
+                train_labels.append(label)
+            else:
+                test_features.append(features)
+                test_labels.append(label)
         fingerprinter = PageFingerprinter(k=3).fit(
             train_features, train_labels
         )

@@ -21,6 +21,7 @@ from repro.core.estimator import SizeEstimator
 from repro.core.metrics import MultiplexingReport
 from repro.core.monitor import TrafficMonitor
 from repro.core.predictor import SizePredictor
+from repro.experiments.executor import TrialExecutor
 from repro.experiments.report import format_table, percentage
 from repro.h2.client import H2Client
 from repro.h2.server import H2Server, ServerConfig
@@ -104,6 +105,22 @@ def run_generated_trial(
     return site, serialized, identified
 
 
+@dataclass(frozen=True)
+class _GeneratedTrial:
+    """One generated-site attack, returning only the picklable verdicts
+    (the :class:`GeneratedSite` stays worker-side)."""
+
+    seed: int
+    object_count: int
+    collisions: int
+
+    def __call__(self, trial: int) -> Tuple[bool, bool]:
+        _, serialized, identified = run_generated_trial(
+            trial, self.seed, self.object_count, self.collisions
+        )
+        return serialized, identified
+
+
 @dataclass
 class GeneralizationResult:
     rows_data: List[List[str]] = field(default_factory=list)
@@ -124,6 +141,7 @@ def run(
     trials: int = 8,
     seed: int = 7,
     profiles: Optional[List[Tuple[str, int, int]]] = None,
+    workers: Optional[int] = None,
 ) -> GeneralizationResult:
     """Sweep site profiles: (label, object_count, size_collisions)."""
     profiles = profiles or [
@@ -132,15 +150,16 @@ def run(
         ("60 objects", 60, 0),
         ("30 objects + 3 size collisions", 30, 3),
     ]
+    executor = TrialExecutor(workers=workers)
     result = GeneralizationResult()
     for label, object_count, collisions in profiles:
         serialized_count = 0
         identified_count = 0
         success_count = 0
-        for trial in range(trials):
-            _, serialized, identified = run_generated_trial(
-                trial, seed, object_count, collisions
-            )
+        verdicts = executor.map_trials(
+            trials, _GeneratedTrial(seed, object_count, collisions)
+        )
+        for serialized, identified in verdicts:
             serialized_count += serialized
             identified_count += identified
             success_count += serialized and identified

@@ -4,22 +4,30 @@ One *trial* is one volunteer's attacked (or baseline) page load: a
 fresh topology, server, browser, and optionally an adversary, run to
 page completion or a horizon.  Everything is seeded from the trial
 index so runs are exactly reproducible.
+
+Besides the live :class:`TrialResult` (which holds the simulator,
+topology and server objects and therefore cannot leave the process
+that ran the trial), this module defines the picklable
+:class:`TrialSummary` — everything the experiment modules aggregate,
+extracted worker-side so trials can run in a process pool (see
+:mod:`repro.experiments.executor`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.tcp.config import TCPConfig
 
 from repro.core.adversary import Adversary, AdversaryConfig
 from repro.core.controller import NetworkController
 from repro.core.metrics import MultiplexingReport
-from repro.core.monitor import TrafficMonitor
+from repro.core.monitor import GetRequestObservation, TrafficMonitor
 from repro.core.sequence import SequenceAttack, SequenceAttackResult
 from repro.h2.client import H2Client
 from repro.h2.server import H2Server, ServerConfig
+from repro.netsim.capture import Direction
 from repro.netsim.topology import PathTopology, build_adversary_path
 from repro.simkernel.trace import TraceLog
 from repro.web.browser import Browser, BrowserConfig
@@ -120,6 +128,178 @@ class TrialResult:
             analysis_start=analysis_start,
             broken_connection=self.broken,
         )
+
+
+# ---------------------------------------------------------------------------
+# Picklable controller setups
+#
+# ``TrialConfig.controller_setup`` must cross a process boundary when
+# trials run on the process backend, so the common setups are plain
+# module-level dataclasses rather than closures.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpacingSetup:
+    """Install the §IV-B GET-spacing filter."""
+
+    spacing: float
+    noise_fraction: float = 0.5
+
+    def __call__(self, controller: NetworkController) -> None:
+        controller.install_spacing(
+            self.spacing, noise_fraction=self.noise_fraction
+        )
+
+
+@dataclass(frozen=True)
+class UniformDelaySetup:
+    """Install the §IV-A constant per-packet delay."""
+
+    delay: float
+    direction: Optional[Direction] = None
+
+    def __call__(self, controller: NetworkController) -> None:
+        controller.install_uniform_delay(self.delay, self.direction)
+
+
+@dataclass(frozen=True)
+class SpacingAndBandwidthSetup:
+    """Spacing filter plus a token-bucket throttle (the Fig. 5 sweep)."""
+
+    spacing: float
+    bits_per_second: float
+    burst_bytes: int = 32 * 1024
+    noise_fraction: float = 0.5
+
+    def __call__(self, controller: NetworkController) -> None:
+        controller.install_spacing(
+            self.spacing, noise_fraction=self.noise_fraction
+        )
+        controller.limit_bandwidth(
+            self.bits_per_second, burst_bytes=self.burst_bytes
+        )
+
+
+# ---------------------------------------------------------------------------
+# Picklable trial summaries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ObjectDegrees:
+    """Ground-truth multiplexing degrees of one object in one trial."""
+
+    min_degree: Optional[float]
+    original_degree: Optional[float]
+
+
+@dataclass
+class TrialSummary:
+    """Everything the experiment modules aggregate from one trial.
+
+    A :class:`TrialResult` holds live simulator, topology and server
+    objects and cannot cross a process boundary; this summary is plain
+    data, extracted worker-side by :func:`summarize_result`.
+
+    Attributes:
+        trial: the trial index.
+        completed: the page load finished (not the paper's "broken
+            connection").
+        duration: simulated seconds the trial ran.
+        client_retransmissions: client-side TCP retransmissions
+            (Table I's counted quantity).
+        total_retransmissions: both endpoints' TCP retransmissions.
+        duplicate_servings: response instances spawned by retransmitted
+            (duplicate) GETs.
+        stream_resets: RST_STREAM frames sent.
+        browser_resets: streams the browser reset (the §IV-D count).
+        server_retransmitted_segments: TCP segments the server's first
+            connection retransmitted (the E8h recovery-cost metric).
+        object_degrees: per object id, its ground-truth min/original
+            degree of multiplexing.
+        inter_get_gaps: gaps between consecutive observed GETs.
+        get_requests: the monitor's GET observations (trigger studies).
+        trace_categories: histogram of trace categories.
+        analysis: the offline attack analysis, when requested.
+    """
+
+    trial: int
+    completed: bool
+    duration: float
+    client_retransmissions: int
+    total_retransmissions: int
+    duplicate_servings: int
+    stream_resets: int
+    browser_resets: int
+    server_retransmitted_segments: int
+    object_degrees: Dict[str, ObjectDegrees] = field(default_factory=dict)
+    inter_get_gaps: List[float] = field(default_factory=list)
+    get_requests: List[GetRequestObservation] = field(default_factory=list)
+    trace_categories: Dict[str, int] = field(default_factory=dict)
+    analysis: Optional[SequenceAttackResult] = None
+
+    @property
+    def broken(self) -> bool:
+        """The paper's 'broken connection': the load never finished."""
+        return not self.completed
+
+    def min_degree(self, object_id: str) -> Optional[float]:
+        """Lowest degree across all servings (duplicates included)."""
+        degrees = self.object_degrees.get(object_id)
+        return degrees.min_degree if degrees is not None else None
+
+    def original_degree(self, object_id: str) -> Optional[float]:
+        """Degree of the first (non-duplicate) serving, or None."""
+        degrees = self.object_degrees.get(object_id)
+        return degrees.original_degree if degrees is not None else None
+
+
+def summarize_result(result: "TrialResult", analyze: bool = True) -> TrialSummary:
+    """Extract the picklable summary of one finished trial.
+
+    Must run in the process that ran the trial (it walks the live
+    server/report/monitor objects).
+    """
+    per_object: Dict[str, ObjectDegrees] = {}
+    for object_id in sorted(
+        {instance.object_id for instance in result.report.degrees}
+    ):
+        per_object[object_id] = ObjectDegrees(
+            min_degree=result.report.min_degree(object_id),
+            original_degree=result.report.original_degree(object_id),
+        )
+    get_requests = result.monitor.get_requests()
+    times = [observation.time for observation in get_requests]
+    return TrialSummary(
+        trial=result.trial,
+        completed=result.completed,
+        duration=result.duration,
+        client_retransmissions=result.client_retransmissions(),
+        total_retransmissions=result.total_retransmissions(),
+        duplicate_servings=result.duplicate_servings(),
+        stream_resets=result.stream_resets(),
+        browser_resets=result.browser.resets_sent,
+        server_retransmitted_segments=(
+            result.server.connections[0].tcp.retransmitted_segments
+            if result.server.connections else 0
+        ),
+        object_degrees=per_object,
+        inter_get_gaps=[b - a for a, b in zip(times, times[1:])],
+        get_requests=get_requests,
+        trace_categories=result.trace.categories(),
+        analysis=result.analyze() if analyze else None,
+    )
+
+
+def summarize_trial(
+    trial: int,
+    workload: VolunteerWorkload,
+    config: Optional[TrialConfig] = None,
+    analyze: bool = True,
+) -> TrialSummary:
+    """Run one trial and return its picklable summary."""
+    return summarize_result(run_trial(trial, workload, config), analyze=analyze)
 
 
 def run_trial(

@@ -16,12 +16,13 @@ with exact-size matching alone.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set
+from typing import List, Optional, Set, Tuple
 
 from repro.core.analysis import PartialMultiplexingAnalyzer
 from repro.core.estimator import SizeEstimator
 from repro.core.predictor import SizePredictor
-from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.executor import TrialExecutor
+from repro.experiments.harness import SpacingSetup, TrialConfig, run_trial
 from repro.experiments.report import format_table, percentage
 from repro.web.workload import VolunteerWorkload
 
@@ -41,22 +42,20 @@ class PartialMuxResult:
         )
 
 
-def run(
-    trials: int = 10,
-    seed: int = 7,
-    spacing: float = 0.025,
-) -> PartialMuxResult:
-    """Mild-jitter loads analyzed with and without blob explanation."""
-    workload = VolunteerWorkload(seed=seed)
-    exact_found = 0
-    blob_found = 0
-    total = 0
-    for trial in range(trials):
-        config = TrialConfig(
-            controller_setup=(
-                lambda controller: controller.install_spacing(spacing)
-            )
-        )
+@dataclass(frozen=True)
+class _PartialMuxTrial:
+    """One mild-jitter load scored worker-side.
+
+    The blob analysis needs the raw packet capture, which never leaves
+    the worker; only the (exact, exact|blob, total) counts come back.
+    """
+
+    seed: int
+    spacing: float
+
+    def __call__(self, trial: int) -> Tuple[int, int, int]:
+        workload = VolunteerWorkload(seed=self.seed)
+        config = TrialConfig(controller_setup=SpacingSetup(self.spacing))
         outcome = run_trial(trial, workload, config)
         predictor = SizePredictor(outcome.site.size_map())
         analyzer = PartialMultiplexingAnalyzer(predictor)
@@ -74,10 +73,22 @@ def run(
             members = analyzer.identify_members(estimate, candidates=emblems)
             if members:
                 via_blob.update(members)
+        return len(exact), len(exact | via_blob), len(emblems)
 
-        total += len(emblems)
-        exact_found += len(exact)
-        blob_found += len(exact | via_blob)
+
+def run(
+    trials: int = 10,
+    seed: int = 7,
+    spacing: float = 0.025,
+    workers: Optional[int] = None,
+) -> PartialMuxResult:
+    """Mild-jitter loads analyzed with and without blob explanation."""
+    counts = TrialExecutor(workers=workers).map_trials(
+        trials, _PartialMuxTrial(seed, spacing)
+    )
+    exact_found = sum(exact for exact, _, _ in counts)
+    blob_found = sum(blob for _, blob, _ in counts)
+    total = sum(size for _, _, size in counts)
 
     result = PartialMuxResult()
     result.rows_data.append([

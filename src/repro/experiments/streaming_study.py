@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 from repro.core.controller import NetworkController
 from repro.core.estimator import SizeEstimator
 from repro.core.monitor import TrafficMonitor
+from repro.experiments.executor import TrialExecutor
 from repro.experiments.report import format_table, percentage
 from repro.h2.client import H2Client
 from repro.h2.server import H2Server, ServerConfig
@@ -120,6 +121,22 @@ def _run_session(
     return session, _score(session, labels), player.finished
 
 
+@dataclass(frozen=True)
+class _StreamTrial:
+    """One streaming session, scored worker-side (the live session and
+    capture stay in the worker; only plain counts come back)."""
+
+    seed: int
+    attacked: bool
+    segments: int
+
+    def __call__(self, trial: int) -> Tuple[int, int, bool]:
+        session, score, done = _run_session(
+            trial, self.seed, self.attacked, self.segments
+        )
+        return score, session.segment_count, done
+
+
 @dataclass
 class StreamingStudyResult:
     rows_data: List[List[str]] = field(default_factory=list)
@@ -139,19 +156,21 @@ def run(
     trials: int = 8,
     seed: int = 7,
     segments: int = 12,
+    workers: Optional[int] = None,
 ) -> StreamingStudyResult:
     """Passive vs attacked quality-sequence recovery."""
+    executor = TrialExecutor(workers=workers)
     result = StreamingStudyResult()
     for attacked in (False, True):
         correct = 0
         total = 0
         finished = 0
-        for trial in range(trials):
-            session, score, done = _run_session(
-                trial, seed, attacked, segments
-            )
+        outcomes = executor.map_trials(
+            trials, _StreamTrial(seed, attacked, segments)
+        )
+        for score, segment_count, done in outcomes:
             correct += score
-            total += session.segment_count
+            total += segment_count
             finished += 1 if done else 0
         result.rows_data.append([
             "attacked (GET spacing)" if attacked else "passive",

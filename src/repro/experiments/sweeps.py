@@ -16,10 +16,16 @@ they are:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.adversary import AdversaryConfig
-from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.executor import TrialExecutor
+from repro.experiments.harness import (
+    SpacingSetup,
+    TrialConfig,
+    TrialSummary,
+    summarize_trial,
+)
 from repro.experiments.plotting import bar_chart
 from repro.experiments.report import format_table, percentage
 from repro.web.isidewith import HTML_OBJECT_ID
@@ -60,13 +66,61 @@ class SweepResult:
         return table + "\n\n" + chart
 
 
+@dataclass(frozen=True)
+class _JitterPointTrial:
+    """One trial at one point of the fine-grained jitter sweep."""
+
+    seed: int
+    spacing: float
+
+    def __call__(self, trial: int) -> TrialSummary:
+        workload = VolunteerWorkload(seed=self.seed)
+        config = TrialConfig()
+        if self.spacing:
+            config.controller_setup = SpacingSetup(self.spacing)
+        return summarize_trial(trial, workload, config, analyze=False)
+
+
+@dataclass(frozen=True)
+class _DropDurationTrial:
+    """One trial at one drop-window duration."""
+
+    seed: int
+    duration: float
+
+    def __call__(self, trial: int) -> TrialSummary:
+        workload = VolunteerWorkload(seed=self.seed)
+        adversary = AdversaryConfig(
+            drop_duration=self.duration, enable_escalation=False
+        )
+        return summarize_trial(
+            trial, workload, TrialConfig(adversary=adversary)
+        )
+
+
+@dataclass(frozen=True)
+class _EscalationTrial:
+    """One trial at one escalated-jitter spacing."""
+
+    seed: int
+    escalated_jitter: float
+
+    def __call__(self, trial: int) -> TrialSummary:
+        workload = VolunteerWorkload(seed=self.seed)
+        adversary = AdversaryConfig(escalated_jitter=self.escalated_jitter)
+        return summarize_trial(
+            trial, workload, TrialConfig(adversary=adversary)
+        )
+
+
 def jitter_curve(
     trials: int = 10,
     seed: int = 7,
     spacings_ms: Sequence[float] = (0, 20, 40, 60, 80, 100, 120),
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Fine-grained Table I: serialization rises then saturates."""
-    workload = VolunteerWorkload(seed=seed)
+    executor = TrialExecutor(workers=workers)
     result = SweepResult(
         title="E14a — jitter sweep (fine-grained Table I)",
         x_label="spacing (ms)",
@@ -76,17 +130,13 @@ def jitter_curve(
     for spacing_ms in spacings_ms:
         not_multiplexed = 0
         retransmissions = 0
-        for trial in range(trials):
-            config = TrialConfig()
-            if spacing_ms:
-                config.controller_setup = (
-                    lambda controller, s=spacing_ms / 1000.0:
-                    controller.install_spacing(s)
-                )
-            outcome = run_trial(trial, workload, config)
-            if outcome.report.min_degree(HTML_OBJECT_ID) == 0.0:
+        summaries = executor.map_trials(
+            trials, _JitterPointTrial(seed, spacing_ms / 1000.0)
+        )
+        for summary in summaries:
+            if summary.min_degree(HTML_OBJECT_ID) == 0.0:
                 not_multiplexed += 1
-            retransmissions += outcome.client_retransmissions()
+            retransmissions += summary.client_retransmissions
         result.xs.append(spacing_ms)
         result.primary.append(percentage(not_multiplexed, trials))
         result.secondary.append(float(retransmissions))
@@ -97,10 +147,11 @@ def drop_duration(
     trials: int = 10,
     seed: int = 7,
     durations: Sequence[float] = (2.0, 4.0, 6.0, 9.0),
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """The §IV-D window length: the client must be starved past its
     stall timeout for the reset to happen."""
-    workload = VolunteerWorkload(seed=seed)
+    executor = TrialExecutor(workers=workers)
     result = SweepResult(
         title="E14b — drop-window duration",
         x_label="drop duration (s)",
@@ -110,15 +161,12 @@ def drop_duration(
     for duration in durations:
         successes = 0
         resets = 0
-        for trial in range(trials):
-            adversary = AdversaryConfig(
-                drop_duration=duration, enable_escalation=False
-            )
-            outcome = run_trial(trial, workload,
-                                TrialConfig(adversary=adversary))
-            resets += outcome.browser.resets_sent
-            analysis = outcome.analyze()
-            if analysis.single_object[HTML_OBJECT_ID].success:
+        summaries = executor.map_trials(
+            trials, _DropDurationTrial(seed, duration)
+        )
+        for summary in summaries:
+            resets += summary.browser_resets
+            if summary.analysis.single_object[HTML_OBJECT_ID].success:
                 successes += 1
         result.xs.append(duration)
         result.primary.append(percentage(successes, trials))
@@ -130,9 +178,10 @@ def escalation_curve(
     trials: int = 10,
     seed: int = 7,
     spacings_ms: Sequence[float] = (40, 80, 120, 160),
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """The §V escalated spacing for the image burst."""
-    workload = VolunteerWorkload(seed=seed)
+    executor = TrialExecutor(workers=workers)
     result = SweepResult(
         title="E14c — escalated spacing for the image burst",
         x_label="escalated spacing (ms)",
@@ -140,13 +189,11 @@ def escalation_curve(
     )
     for spacing_ms in spacings_ms:
         positions = 0
-        for trial in range(trials):
-            adversary = AdversaryConfig(
-                escalated_jitter=spacing_ms / 1000.0
-            )
-            outcome = run_trial(trial, workload,
-                                TrialConfig(adversary=adversary))
-            analysis = outcome.analyze()
+        summaries = executor.map_trials(
+            trials, _EscalationTrial(seed, spacing_ms / 1000.0)
+        )
+        for summary in summaries:
+            analysis = summary.analysis
             positions += sum(
                 1 for object_id in analysis.sequence_truth
                 if analysis.sequence_correct.get(object_id)

@@ -15,10 +15,17 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.executor import TrialExecutor
+from repro.experiments.harness import (
+    SpacingSetup,
+    TrialConfig,
+    TrialSummary,
+    summarize_trial,
+)
 from repro.experiments.report import format_table, percentage
 from repro.web.isidewith import HTML_OBJECT_ID
 from repro.web.workload import VolunteerWorkload
@@ -43,11 +50,33 @@ class JitterRow:
         return percentage(self.not_multiplexed, self.trials)
 
     def retransmission_increase_pct(self, baseline: int) -> float:
+        """Increase over the d=0 baseline, in percent.
+
+        A zero baseline has no meaningful percentage increase: the
+        result is ``inf`` (or 0.0 when this row is also zero), rendered
+        as ``—`` in the table.
+        """
         if baseline == 0:
-            # An all-but-lossless baseline: report the absolute count as
-            # the increase (the paper's baseline was non-zero).
-            return float(self.retransmissions) * 100.0
+            return 0.0 if self.retransmissions == 0 else math.inf
         return 100.0 * (self.retransmissions - baseline) / baseline
+
+
+@dataclass(frozen=True)
+class _JitterTrial:
+    """Picklable per-trial task for one sweep point."""
+
+    seed: int
+    delay: float
+    noise_fraction: float
+
+    def __call__(self, trial: int) -> TrialSummary:
+        workload = VolunteerWorkload(seed=self.seed)
+        config = TrialConfig()
+        if self.delay > 0:
+            config.controller_setup = SpacingSetup(
+                self.delay, noise_fraction=self.noise_fraction
+            )
+        return summarize_trial(trial, workload, config, analyze=False)
 
 
 @dataclass
@@ -56,11 +85,18 @@ class Table1Result:
 
     def rows(self) -> List[List[str]]:
         baseline = self.rows_data[0].retransmissions if self.rows_data else 0
+
+        def increase(row: JitterRow) -> str:
+            value = row.retransmission_increase_pct(baseline)
+            if not math.isfinite(value):
+                return "—"
+            return f"{value:+.0f}%"
+
         return [
             [
                 f"{row.delay * 1000:.0f}",
                 f"{row.not_multiplexed_pct:.0f}%",
-                f"{row.retransmission_increase_pct(baseline):+.0f}%",
+                increase(row),
                 str(row.retransmissions),
                 str(row.duplicate_servings),
             ]
@@ -86,6 +122,7 @@ def run(
     seed: int = 7,
     delays: Sequence[float] = DELAYS,
     noise_fraction: float = 0.5,
+    workers: Optional[int] = None,
 ) -> Table1Result:
     """Run the jitter sweep.
 
@@ -95,27 +132,22 @@ def run(
         delays: spacing values to sweep, in seconds.
         noise_fraction: jitter actuator imprecision (the §IV-B sweep
             uses the crude default).
+        workers: trial-execution worker count (None → ``REPRO_WORKERS``).
     """
-    workload = VolunteerWorkload(seed=seed)
+    executor = TrialExecutor(workers=workers)
     result = Table1Result()
     for delay in delays:
         row = JitterRow(delay=delay)
-        for trial in range(trials):
-            config = TrialConfig()
-            if delay > 0:
-                config.controller_setup = (
-                    lambda controller, d=delay: controller.install_spacing(
-                        d, noise_fraction=noise_fraction
-                    )
-                )
-            outcome = run_trial(trial, workload, config)
+        summaries = executor.map_trials(
+            trials, _JitterTrial(seed, delay, noise_fraction)
+        )
+        for summary in summaries:
             row.trials += 1
-            degree = outcome.report.min_degree(HTML_OBJECT_ID)
-            if degree == 0.0:
+            if summary.min_degree(HTML_OBJECT_ID) == 0.0:
                 row.not_multiplexed += 1
-            row.retransmissions += outcome.client_retransmissions()
-            row.duplicate_servings += outcome.duplicate_servings()
-            if outcome.broken:
+            row.retransmissions += summary.client_retransmissions
+            row.duplicate_servings += summary.duplicate_servings
+            if summary.broken:
                 row.broken += 1
         result.rows_data.append(row)
     return result

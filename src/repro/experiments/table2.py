@@ -19,12 +19,26 @@ from statistics import mean
 from typing import Dict, List, Optional
 
 from repro.core.adversary import AdversaryConfig
-from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.executor import TrialExecutor
+from repro.experiments.harness import TrialConfig, TrialSummary, summarize_trial
 from repro.experiments.report import format_table, percentage
 from repro.web.isidewith import HTML_OBJECT_ID
 from repro.web.workload import VolunteerWorkload
 
 COLUMNS = ["HTML", "I1", "I2", "I3", "I4", "I5", "I6", "I7", "I8"]
+
+
+@dataclass(frozen=True)
+class _AttackTrial:
+    """Picklable per-trial task: one fully attacked volunteer session."""
+
+    seed: int
+    adversary: Optional[AdversaryConfig]
+
+    def __call__(self, trial: int) -> TrialSummary:
+        workload = VolunteerWorkload(seed=self.seed)
+        config = TrialConfig(adversary=self.adversary or AdversaryConfig())
+        return summarize_trial(trial, workload, config)
 
 #: Table II reference values from the paper, for EXPERIMENTS.md.
 PAPER_SINGLE = {column: 100 for column in COLUMNS}
@@ -68,20 +82,21 @@ def run(
     trials: int = 30,
     seed: int = 7,
     adversary: Optional[AdversaryConfig] = None,
+    workers: Optional[int] = None,
 ) -> Table2Result:
     """Run the end-to-end attack over ``trials`` volunteer sessions."""
-    workload = VolunteerWorkload(seed=seed)
     result = Table2Result()
     for column in COLUMNS:
         result.single_successes[column] = 0
         result.sequence_successes[column] = 0
-    for trial in range(trials):
-        config = TrialConfig(adversary=adversary or AdversaryConfig())
-        outcome = run_trial(trial, workload, config)
+    summaries = TrialExecutor(workers=workers).map_trials(
+        trials, _AttackTrial(seed, adversary)
+    )
+    for summary in summaries:
         result.trials += 1
-        if outcome.broken:
+        if summary.broken:
             result.broken += 1
-        analysis = outcome.analyze()
+        analysis = summary.analysis
 
         # Column "HTML".
         if analysis.single_object[HTML_OBJECT_ID].success:

@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.core.trigger import HtmlGetClassifier
-from repro.experiments.harness import TrialConfig, run_trial
+from repro.experiments.executor import TrialExecutor
+from repro.experiments.harness import TrialConfig, summarize_trial
 from repro.experiments.report import format_table, percentage
 from repro.web.isidewith import HTML_OBJECT_ID, IsideWithSite
 from repro.web.site import LoadSchedule, ScheduledRequest
@@ -62,6 +63,55 @@ def cached_variant(
     return LoadSchedule(requests), html_index
 
 
+@dataclass(frozen=True)
+class _ProfilingTrial:
+    """One profiling load (alternating clean / cached schedules).
+
+    Returns the GET observations at the gateway plus the HTML's true
+    0-based request index for that schedule.
+    """
+
+    seed: int
+    cache_probability: float
+
+    def __call__(self, trial: int) -> Tuple[tuple, int]:
+        workload = VolunteerWorkload(seed=self.seed)
+        site = workload.session(trial)
+        rng = workload.trial_rng(trial).spawn("profiling")
+        if trial % 2 == 0:
+            schedule, html_index = site.schedule, site.html_index
+        else:
+            schedule, html_index = cached_variant(
+                site, rng, self.cache_probability
+            )
+        summary = summarize_trial(
+            trial, workload, TrialConfig(schedule_override=schedule),
+            analyze=False,
+        )
+        return tuple(summary.get_requests), html_index
+
+
+@dataclass(frozen=True)
+class _EvaluationTrial:
+    """One cached-visitor evaluation load."""
+
+    seed: int
+    cache_probability: float
+
+    def __call__(self, trial: int) -> Tuple[tuple, int]:
+        workload = VolunteerWorkload(seed=self.seed)
+        site = workload.session(trial)
+        rng = workload.trial_rng(trial).spawn("evaluation")
+        schedule, html_index = cached_variant(
+            site, rng, self.cache_probability
+        )
+        summary = summarize_trial(
+            trial, workload, TrialConfig(schedule_override=schedule),
+            analyze=False,
+        )
+        return tuple(summary.get_requests), html_index
+
+
 @dataclass
 class TriggerStudyResult:
     rows_data: List[List[str]] = field(default_factory=list)
@@ -82,30 +132,23 @@ def run(
     training_trials: int = 10,
     seed: int = 7,
     cache_probability: float = 0.5,
+    workers: Optional[int] = None,
 ) -> TriggerStudyResult:
     """Run the trigger study.
 
     Profiling (training) runs use *clean and cached* baseline loads of
     the adversary's own; evaluation runs are cached-visitor sessions.
     """
-    workload = VolunteerWorkload(seed=seed)
+    executor = TrialExecutor(workers=workers)
 
     # ---- profiling phase: train the classifier --------------------------
     sessions = []
     html_indices = []
-    for trial in range(training_trials):
-        site = workload.session(trial)
-        rng = workload.trial_rng(trial).spawn("profiling")
-        if trial % 2 == 0:
-            schedule, html_index = site.schedule, site.html_index
-        else:
-            schedule, html_index = cached_variant(
-                site, rng, cache_probability
-            )
-        outcome = run_trial(
-            trial, workload, TrialConfig(schedule_override=schedule)
-        )
-        sessions.append(outcome.monitor.get_requests())
+    profiling = executor.map_trials(
+        training_trials, _ProfilingTrial(seed, cache_probability)
+    )
+    for observations, html_index in profiling:
+        sessions.append(list(observations))
         html_indices.append(html_index)
     classifier = HtmlGetClassifier(k=3).fit(sessions, html_indices)
 
@@ -115,14 +158,12 @@ def run(
     fixed_errors: List[int] = []
     learned_errors: List[int] = []
     offset = training_trials
-    for trial in range(offset, offset + trials):
-        site = workload.session(trial)
-        rng = workload.trial_rng(trial).spawn("evaluation")
-        schedule, html_index = cached_variant(site, rng, cache_probability)
-        outcome = run_trial(
-            trial, workload, TrialConfig(schedule_override=schedule)
-        )
-        observations = outcome.monitor.get_requests()
+    evaluation = executor.map_trials(
+        range(offset, offset + trials),
+        _EvaluationTrial(seed, cache_probability),
+    )
+    for observations, html_index in evaluation:
+        observations = list(observations)
 
         fixed_prediction = 5  # "the 6th GET", 0-based
         learned = classifier.predict_index(observations)

@@ -4,6 +4,12 @@ Events are ordered by ``(time, priority, sequence)``.  The sequence
 number is a monotonically increasing insertion counter, which makes the
 ordering total and the simulation fully deterministic: two events
 scheduled for the same instant fire in the order they were scheduled.
+
+Cancellation is lazy — a cancelled event stays in the heap and is
+skipped when popped — but the queue counts its cancelled residents and
+compacts the heap when they outnumber the live ones, so long horizons
+with many cancelled retransmit timers do not keep dead events (and the
+callbacks they close over) resident.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ class Event:
             events stay in the heap but are skipped when popped.
     """
 
-    __slots__ = ("time", "priority", "sequence", "callback", "cancelled")
+    __slots__ = ("time", "priority", "sequence", "callback", "cancelled", "_queue")
 
     def __init__(
         self,
@@ -40,6 +46,7 @@ class Event:
         self.sequence = sequence
         self.callback = callback
         self.cancelled = False
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Mark the event so it will be skipped instead of fired.
@@ -50,6 +57,9 @@ class Event:
         if self.cancelled:
             raise SchedulingError("event cancelled twice")
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
+            self._queue = None
 
     def _sort_key(self) -> tuple:
         return (self.time, self.priority, self.sequence)
@@ -65,16 +75,38 @@ class Event:
 class EventQueue:
     """A deterministic min-heap of :class:`Event` objects."""
 
+    #: Heaps smaller than this are never compacted — the bookkeeping
+    #: would cost more than the dead entries.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self._heap: list = []
         self._counter = itertools.count()
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._cancelled
+
+    def _note_cancelled(self) -> None:
+        """A resident event was cancelled; compact when the dead
+        outnumber the live."""
+        self._cancelled += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its cancelled entries."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def push(self, time: float, priority: int, callback: Callable[[], Any]) -> Event:
         """Insert a new event and return it (so the caller can cancel it)."""
         event = Event(time, priority, next(self._counter), callback)
+        event._queue = self
         heapq.heappush(self._heap, event)
         return event
 
@@ -86,17 +118,23 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                event._queue = None
                 return event
+            self._cancelled -= 1
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest live event, or None."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         if not self._heap:
             return None
         return self._heap[0].time
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
+        self._cancelled = 0

@@ -5,6 +5,11 @@ string such as ``"tcp.retransmit"`` or ``"h2.rst_stream"``, and a dict
 of fields).  The experiment harness filters and counts records to
 compute the paper's metrics — e.g. Table I's "increase in number of
 retransmissions" is a count of ``tcp.retransmit`` records.
+
+The log keeps a per-category index alongside the append-only record
+list, so the exact-category queries the harness issues several times
+per trial (:meth:`TraceLog.select` / :meth:`TraceLog.count`) do not
+scan every record ever logged.
 """
 
 from __future__ import annotations
@@ -33,6 +38,8 @@ class TraceLog:
 
     def __init__(self, enabled: bool = True) -> None:
         self._records: List[TraceRecord] = []
+        #: category → indices into ``_records``, in append order.
+        self._by_category: Dict[str, List[int]] = {}
         self.enabled = enabled
 
     def __len__(self) -> int:
@@ -44,7 +51,39 @@ class TraceLog:
     def record(self, time: float, category: str, **fields: Any) -> None:
         """Append one record (a no-op when the log is disabled)."""
         if self.enabled:
+            index = len(self._records)
             self._records.append(TraceRecord(time, category, fields))
+            bucket = self._by_category.get(category)
+            if bucket is None:
+                self._by_category[category] = [index]
+            else:
+                bucket.append(index)
+
+    def _candidate_indices(
+        self, category: Optional[str], prefix: Optional[str]
+    ) -> Optional[List[int]]:
+        """Indices matching the category/prefix filters, in append
+        order, or None when a full scan is the right plan (no filter)."""
+        if category is not None:
+            if prefix is not None and not category.startswith(prefix):
+                return []
+            return self._by_category.get(category, [])
+        if prefix is not None:
+            buckets = [
+                indices
+                for cat, indices in self._by_category.items()
+                if cat.startswith(prefix)
+            ]
+            if not buckets:
+                return []
+            if len(buckets) == 1:
+                return buckets[0]
+            merged: List[int] = []
+            for bucket in buckets:
+                merged.extend(bucket)
+            merged.sort()
+            return merged
+        return None
 
     def select(
         self,
@@ -59,28 +98,38 @@ class TraceLog:
             prefix: category prefix match (e.g. ``"tcp."``).
             predicate: arbitrary record filter applied last.
         """
-        result = []
-        for record in self._records:
-            if category is not None and record.category != category:
-                continue
-            if prefix is not None and not record.category.startswith(prefix):
-                continue
-            if predicate is not None and not predicate(record):
-                continue
-            result.append(record)
-        return result
+        indices = self._candidate_indices(category, prefix)
+        if indices is None:
+            records: List[TraceRecord] = self._records
+        else:
+            records = [self._records[index] for index in indices]
+        if predicate is None:
+            return list(records) if records is self._records else records
+        return [record for record in records if predicate(record)]
 
     def count(self, category: Optional[str] = None, prefix: Optional[str] = None) -> int:
         """Count records matching the filters."""
-        return len(self.select(category=category, prefix=prefix))
+        if category is not None:
+            if prefix is not None and not category.startswith(prefix):
+                return 0
+            return len(self._by_category.get(category, ()))
+        if prefix is not None:
+            return sum(
+                len(indices)
+                for cat, indices in self._by_category.items()
+                if cat.startswith(prefix)
+            )
+        return len(self._records)
 
     def categories(self) -> Dict[str, int]:
         """Histogram of categories, for quick inspection in tests."""
-        histogram: Dict[str, int] = {}
-        for record in self._records:
-            histogram[record.category] = histogram.get(record.category, 0) + 1
-        return histogram
+        return {
+            category: len(indices)
+            for category, indices in self._by_category.items()
+            if indices
+        }
 
     def clear(self) -> None:
         """Drop all records."""
         self._records.clear()
+        self._by_category.clear()

@@ -88,3 +88,68 @@ def test_event_repr_shows_state():
     assert "pending" in repr(event)
     event.cancel()
     assert "cancelled" in repr(event)
+
+
+def test_compaction_shrinks_heap_after_mass_cancel():
+    queue = EventQueue()
+    events = [queue.push(float(i), 100, lambda: None) for i in range(200)]
+    for event in events[:150]:
+        event.cancel()
+    # Compaction bounds tombstones to at most half the heap: 150
+    # cancels against 200 entries cannot leave the heap at full size.
+    assert len(queue._heap) < 200
+    assert len(queue._heap) - len(queue) <= len(queue._heap) // 2
+    assert len(queue) == 50
+    popped = [queue.pop() for _ in range(50)]
+    assert popped == events[150:]
+    assert queue.pop() is None
+
+
+def test_no_compaction_below_minimum_size():
+    queue = EventQueue()
+    events = [queue.push(float(i), 100, lambda: None) for i in range(10)]
+    for event in events[:8]:
+        event.cancel()
+    # Tiny queues keep their tombstones (compaction is not worth it).
+    assert len(queue._heap) == 10
+    assert len(queue) == 2
+    assert queue.pop() is events[8]
+    assert queue.pop() is events[9]
+
+
+def test_compaction_preserves_order_and_cancellation():
+    queue = EventQueue()
+    keep = []
+    cancel = []
+    for i in range(300):
+        event = queue.push(float(i % 17), 100 + (i % 3), lambda: None)
+        (cancel if i % 3 == 0 else keep).append(event)
+    for event in cancel:
+        event.cancel()
+    expected = sorted(keep, key=lambda e: (e.time, e.priority, e.sequence))
+    popped = []
+    while (event := queue.pop()) is not None:
+        popped.append(event)
+    assert popped == expected
+
+
+def test_cancel_after_pop_does_not_corrupt_queue():
+    queue = EventQueue()
+    event = queue.push(1.0, 100, lambda: None)
+    survivor = queue.push(2.0, 100, lambda: None)
+    assert queue.pop() is event
+    # The popped event is detached: cancelling it must not decrement
+    # the queue's live count or mark tombstones that are not there.
+    event.cancel()
+    assert len(queue) == 1
+    assert queue.pop() is survivor
+
+
+def test_peek_time_discards_cancelled_without_overcounting():
+    queue = EventQueue()
+    first = queue.push(1.0, 100, lambda: None)
+    second = queue.push(2.0, 100, lambda: None)
+    first.cancel()
+    assert queue.peek_time() == 2.0
+    assert len(queue) == 1
+    assert queue.pop() is second

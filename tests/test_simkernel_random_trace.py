@@ -140,3 +140,97 @@ def test_transmission_delay_negative_size_raises():
 
 def test_milliseconds_constant():
     assert 25 * MILLISECONDS == pytest.approx(0.025)
+
+
+# ---------------------------------------------------------------------------
+# Indexed TraceLog vs a linear-scan reference
+# ---------------------------------------------------------------------------
+
+def _reference_select(log, category=None, prefix=None, predicate=None):
+    """The pre-index semantics: one linear scan over every record."""
+    out = []
+    for record in log:
+        if category is not None and record.category != category:
+            continue
+        if prefix is not None and not record.category.startswith(prefix):
+            continue
+        if predicate is not None and not predicate(record):
+            continue
+        out.append(record)
+    return out
+
+
+def _populated_log():
+    log = TraceLog()
+    categories = ["tcp.send", "tcp.recv", "tcp.retransmit",
+                  "h2.frame", "h2.reset", "adversary.drop", "tcp"]
+    for i in range(200):
+        log.record(float(i) / 10.0, categories[i % len(categories)], n=i)
+    return log
+
+
+def test_indexed_select_matches_linear_scan():
+    log = _populated_log()
+    cases = [
+        {},
+        {"category": "tcp.send"},
+        {"category": "missing"},
+        {"prefix": "tcp."},
+        {"prefix": "tcp"},          # matches "tcp" and "tcp.*"
+        {"prefix": "nothing."},
+        {"category": "h2.frame", "prefix": "h2."},
+        {"category": "h2.frame", "prefix": "tcp."},   # contradictory
+        {"predicate": lambda r: r["n"] % 2 == 0},
+        {"category": "tcp.recv", "predicate": lambda r: r["n"] > 100},
+        {"prefix": "h2.", "predicate": lambda r: r.time < 5.0},
+    ]
+    for kwargs in cases:
+        assert log.select(**kwargs) == _reference_select(log, **kwargs), kwargs
+
+
+def test_indexed_select_preserves_record_order():
+    log = _populated_log()
+    for kwargs in ({"prefix": "tcp."}, {"category": "h2.reset"}, {}):
+        times = [record.time for record in log.select(**kwargs)]
+        assert times == sorted(times)
+
+
+def test_indexed_count_matches_select_length():
+    log = _populated_log()
+    cases = [
+        {},
+        {"category": "tcp.send"},
+        {"category": "missing"},
+        {"prefix": "tcp."},
+        {"prefix": "tcp"},
+        {"category": "h2.frame", "prefix": "tcp."},
+    ]
+    for kwargs in cases:
+        assert log.count(**kwargs) == len(_reference_select(log, **kwargs)), kwargs
+
+
+def test_index_survives_clear_and_reuse():
+    log = _populated_log()
+    log.clear()
+    assert log.count() == 0
+    assert log.categories() == {}
+    assert log.select(prefix="tcp.") == []
+    log.record(1.0, "tcp.send", n=1)
+    assert log.count(category="tcp.send") == 1
+    assert log.categories() == {"tcp.send": 1}
+
+
+def test_disabled_log_keeps_index_empty():
+    log = TraceLog(enabled=False)
+    log.record(1.0, "tcp.send", n=1)
+    assert log.count() == 0
+    assert log.count(category="tcp.send") == 0
+    assert log.select(category="tcp.send") == []
+    assert log.categories() == {}
+
+
+def test_select_returns_copy_not_internal_storage():
+    log = _populated_log()
+    everything = log.select()
+    everything.append("sentinel")
+    assert log.count() == 200
