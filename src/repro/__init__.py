@@ -13,7 +13,8 @@ deterministic discrete-event network testbed:
 * :mod:`repro.h1` — the sequential HTTP/1.1 baseline,
 * :mod:`repro.web` — the isidewith.com replica and browser model,
 * :mod:`repro.core` — **the paper's contribution**: the adversary,
-* :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.experiments` — one module per paper table/figure,
+* :mod:`repro.profiling` — hot-path counters/timers (``--profile``).
 
 Quick start::
 
@@ -24,6 +25,7 @@ Quick start::
     print(result.sequence_truth)        # ground truth
 """
 
+from repro import profiling
 from repro.core.adversary import Adversary, AdversaryConfig
 from repro.core.sequence import SequenceAttackResult
 from repro.experiments.executor import TrialExecutor
@@ -47,6 +49,7 @@ __all__ = [
     "TrialResult",
     "TrialSummary",
     "VolunteerWorkload",
+    "profiling",
     "quick_attack",
     "run_trial",
     "summarize_trial",

@@ -38,6 +38,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "baseline", "table1", "table2", "fig1", "fig5", "fig6",
             "delay", "ablations", "attack", "trigger", "streaming",
             "partialmux", "generalization", "fingerprint", "scorecard",
+            "profile",
         ],
         help="which paper experiment to run",
     )
@@ -60,6 +61,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "results are identical for any worker count"
         ),
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "collect per-subsystem counters and wall-clock timers while "
+            "the experiment runs; the report goes to stderr, so stdout "
+            "(the experiment table) stays byte-identical"
+        ),
+    )
     return parser
 
 
@@ -70,9 +79,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     from repro.experiments.executor import resolve_workers
     try:
-        resolve_workers(args.workers)
+        workers = resolve_workers(args.workers)
     except ValueError as error:
         parser.error(str(error))
+
+    profiler = None
+    if args.profile and args.experiment != "profile":
+        from repro import profiling
+        if workers > 1:
+            print(
+                "repro: note: --profile with --workers > 1 only observes "
+                "the parent process; use the serial executor for full "
+                "coverage",
+                file=sys.stderr,
+            )
+        profiler = profiling.activate()
 
     if args.experiment == "baseline":
         from repro.experiments import baseline
@@ -151,8 +172,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                              workers=args.workers)
         print(card.render())
         return 0 if card.all_shapes_hold else 1
+    elif args.experiment == "profile":
+        from repro.experiments.hotpath import profile_reference
+        _, report = profile_reference(seed=args.seed)
+        print(report)
     elif args.experiment == "attack":
         _run_attack(args.trial, args.seed)
+
+    if profiler is not None:
+        from repro import profiling
+        for name, amount in profiling.hpack_cache_counters().items():
+            profiler.counters[name] = amount
+        profiling.deactivate()
+        print(profiler.render(), file=sys.stderr)
     return 0
 
 

@@ -140,6 +140,57 @@ def degree_of_multiplexing(
     return interleaved / total
 
 
+def _all_degrees(
+    all_ranges: Dict[ResponseInstance, List[Tuple[int, int]]],
+) -> Dict[ResponseInstance, float]:
+    """Degrees for every instance at once.
+
+    Equivalent to calling :func:`degree_of_multiplexing` per instance,
+    but merges each instance's ranges and derives its extent exactly
+    once instead of once per (target, other) pair — the pairwise loop
+    dominated trial teardown before this.
+    """
+    merged: Dict[ResponseInstance, List[Tuple[int, int]]] = {
+        instance: _merge(ranges)
+        for instance, ranges in all_ranges.items()
+        if ranges
+    }
+    extents = {
+        instance: (ranges[0][0], ranges[-1][1])
+        for instance, ranges in merged.items()
+    }
+    degrees: Dict[ResponseInstance, float] = {}
+    for target, target_ranges in merged.items():
+        total = sum(end - start for start, end in target_ranges)
+        if total == 0:
+            raise KeyError(f"instance {target!r} transmitted no bytes")
+        target_extent = extents[target]
+        interleaved_ranges: List[Tuple[int, int]] = []
+        split = False
+        for other, other_ranges in merged.items():
+            if other is target:
+                continue
+            # Split rule: any foreign object bytes inside the target's
+            # extent make the whole target unsizable.
+            if _overlap_bytes(other_ranges, target_extent) > 0:
+                split = True
+                break
+            other_lo, other_hi = extents[other]
+            for start, end in target_ranges:
+                lo = start if start > other_lo else other_lo
+                hi = end if end < other_hi else other_hi
+                if hi > lo:
+                    interleaved_ranges.append((lo, hi))
+        if split:
+            degrees[target] = 1.0
+        else:
+            interleaved = sum(
+                end - start for start, end in _merge(interleaved_ranges)
+            )
+            degrees[target] = interleaved / total
+    return degrees
+
+
 @dataclass
 class MultiplexingReport:
     """Per-instance multiplexing summary for one server connection."""
@@ -149,10 +200,8 @@ class MultiplexingReport:
     @classmethod
     def from_layout(cls, layout: StreamLayout) -> "MultiplexingReport":
         """Compute degrees for every instance on a send stream."""
-        ranges = instance_byte_ranges(layout)
         report = cls()
-        for instance in ranges:
-            report.degrees[instance] = degree_of_multiplexing(instance, ranges)
+        report.degrees = _all_degrees(instance_byte_ranges(layout))
         return report
 
     def for_object(

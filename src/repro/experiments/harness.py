@@ -15,9 +15,11 @@ extracted worker-side so trials can run in a process pool (see
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import profiling
 from repro.tcp.config import TCPConfig
 
 from repro.core.adversary import Adversary, AdversaryConfig
@@ -307,7 +309,15 @@ def run_trial(
     workload: VolunteerWorkload,
     config: Optional[TrialConfig] = None,
 ) -> TrialResult:
-    """Assemble and run one trial end to end."""
+    """Assemble and run one trial end to end.
+
+    When a profiler is active (see :mod:`repro.profiling`) the trial's
+    phases are wall-clock timed and its subsystem counters harvested
+    after the run.  Profiling only *reads* state the simulation already
+    maintains, so results are byte-identical with it on or off.
+    """
+    profiler = profiling.active()
+    phase_start = time.perf_counter() if profiler is not None else 0.0
     config = config or TrialConfig()
     site = workload.session(trial)
     rng = workload.trial_rng(trial)
@@ -351,6 +361,11 @@ def run_trial(
     if config.controller_setup is not None:
         config.controller_setup(controller)
 
+    if profiler is not None:
+        now = time.perf_counter()
+        profiler.add_time("trial.setup", now - phase_start)
+        phase_start = now
+
     browser.start()
 
     # Run in slices so we can stop soon after the page completes.
@@ -363,6 +378,11 @@ def run_trial(
             sim.run_until(min(sim.now + config.settle_time, config.horizon))
             break
 
+    if profiler is not None:
+        now = time.perf_counter()
+        profiler.add_time("trial.simulate", now - phase_start)
+        phase_start = now
+
     completed = browser.page_complete and not browser.broken
     monitor = TrafficMonitor(topology.middlebox.capture)
     if server.connections:
@@ -371,6 +391,23 @@ def run_trial(
         )
     else:
         report = MultiplexingReport()
+
+    if profiler is not None:
+        profiler.add_time("trial.collect", time.perf_counter() - phase_start)
+        profiler.count("trials")
+        profiler.count("sim.events", sim.events_executed)
+        profiler.count("net.packets", len(topology.middlebox.capture))
+        profiler.count("trace.records", len(trace))
+        profiler.count(
+            "h2.frames_sent",
+            client.h2.frames_sent
+            + sum(conn.h2.frames_sent for conn in server.connections),
+        )
+        profiler.count(
+            "tcp.retransmitted_segments",
+            client.tcp.retransmitted_segments
+            + sum(conn.tcp.retransmitted_segments for conn in server.connections),
+        )
 
     return TrialResult(
         trial=trial,

@@ -22,8 +22,12 @@ FRAME_HEADER_BYTES = 9
 
 _frame_ids = itertools.count(1)
 
+#: Per-class cache for :meth:`Frame.type_name` (computed once, not
+#: re-derived for every frame written and received).
+_TYPE_NAMES: Dict[type, str] = {}
 
-@dataclass
+
+@dataclass(slots=True)
 class Frame:
     """Base frame: stream 0 means connection-scoped."""
 
@@ -42,7 +46,12 @@ class Frame:
 
     @property
     def type_name(self) -> str:
-        return type(self).__name__.replace("Frame", "").upper()
+        cls = type(self)
+        name = _TYPE_NAMES.get(cls)
+        if name is None:
+            name = cls.__name__.replace("Frame", "").upper()
+            _TYPE_NAMES[cls] = name
+        return name
 
     def __repr__(self) -> str:
         return (
@@ -51,7 +60,7 @@ class Frame:
         )
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class DataFrame(Frame):
     """DATA: a chunk of response body.
 
@@ -81,7 +90,7 @@ class DataFrame(Frame):
         return self.data_bytes + pad
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class HeadersFrame(Frame):
     """HEADERS: a request or response header block.
 
@@ -110,7 +119,7 @@ class HeadersFrame(Frame):
         return length
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class PriorityFrame(Frame):
     """PRIORITY: re-prioritize a stream (5-octet payload)."""
 
@@ -129,7 +138,7 @@ class PriorityFrame(Frame):
         return 5
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class RstStreamFrame(Frame):
     """RST_STREAM: abort one stream (4-octet error code)."""
 
@@ -144,7 +153,7 @@ class RstStreamFrame(Frame):
         return 4
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class SettingsFrame(Frame):
     """SETTINGS: id/value pairs, or an empty ACK."""
 
@@ -162,7 +171,7 @@ class SettingsFrame(Frame):
         return 6 * len(self.settings)
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class PushPromiseFrame(Frame):
     """PUSH_PROMISE: reserve a server-push stream."""
 
@@ -181,7 +190,7 @@ class PushPromiseFrame(Frame):
         return 4 + block_len  # promised stream id + header block
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class PingFrame(Frame):
     """PING: 8 opaque octets."""
 
@@ -196,7 +205,7 @@ class PingFrame(Frame):
         return 8
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class GoAwayFrame(Frame):
     """GOAWAY: shut the connection down."""
 
@@ -213,7 +222,7 @@ class GoAwayFrame(Frame):
         return 8 + self.debug_bytes
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class WindowUpdateFrame(Frame):
     """WINDOW_UPDATE: grant flow-control credit (4-octet increment)."""
 
@@ -228,7 +237,7 @@ class WindowUpdateFrame(Frame):
         return 4
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class ContinuationFrame(Frame):
     """CONTINUATION: trailing fragments of a large header block."""
 

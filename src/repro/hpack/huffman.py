@@ -7,6 +7,8 @@ which is fully determined by the per-symbol code lengths below.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 # Code length in bits for each printable ASCII symbol (RFC 7541 App. B).
 _PRINTABLE_CODE_BITS = {
     " ": 6, "!": 10, '"': 10, "#": 12, "$": 13, "%": 6, "&": 8, "'": 11,
@@ -35,12 +37,25 @@ def symbol_code_bits(char: str) -> int:
     return _PRINTABLE_CODE_BITS.get(char, _NON_PRINTABLE_CODE_BITS)
 
 
+@lru_cache(maxsize=4096)
 def huffman_encoded_length(text: str) -> int:
-    """Octets the Huffman coding of ``text`` occupies (EOS-padded)."""
-    bits = sum(symbol_code_bits(char) for char in text)
+    """Octets the Huffman coding of ``text`` occupies (EOS-padded).
+
+    Header strings repeat heavily across the requests of a page load
+    (method, scheme, paths, cookie), so results are memoized.  The dict
+    lookup is inlined rather than routed through
+    :func:`symbol_code_bits`, which would re-validate the single-char
+    invariant for every character of every string.
+    """
+    get = _PRINTABLE_CODE_BITS.get
+    default = _NON_PRINTABLE_CODE_BITS
+    bits = 0
+    for char in text:
+        bits += get(char, default)
     return (bits + 7) // 8
 
 
+@lru_cache(maxsize=4096)
 def string_literal_length(text: str) -> int:
     """Octets an HPACK encoder emits for ``text`` as a string literal.
 

@@ -17,7 +17,7 @@ from repro.netsim.packet import Packet
 from repro.simkernel.randomstream import RandomStreams
 from repro.simkernel.simulator import Simulator
 from repro.simkernel.trace import TraceLog
-from repro.simkernel.units import MBPS, transmission_delay
+from repro.simkernel.units import MBPS
 
 
 @dataclass
@@ -105,6 +105,10 @@ class Link:
         self.a = LinkEnd(self, 0)
         self.b = LinkEnd(self, 1)
         self._directions = (_DirectionState(), _DirectionState())
+        # Hoisted per-packet constants: dividing by a precomputed
+        # bytes-per-second value is bit-identical to transmission_delay()
+        # (which computes size / (bps / 8.0) on every call).
+        self._bytes_per_second = config.bandwidth_bps / 8.0
 
     def _jitter_draw(self) -> float:
         if self.config.jitter <= 0 or self._rng is None:
@@ -121,13 +125,16 @@ class Link:
     def _transmit(self, packet: Packet, from_index: int) -> None:
         direction = self._directions[from_index]
         now = self._sim.now
+        busy_until = direction.busy_until
 
         # Transmit-buffer occupancy model: packets whose serialization
         # has not started yet count against the queue capacity.
-        backlog_time = max(0.0, direction.busy_until - now)
-        serialization = transmission_delay(packet.wire_size, self.config.bandwidth_bps)
+        backlog_time = busy_until - now
+        serialization = packet.wire_size / self._bytes_per_second
         backlog_packets = (
-            int(backlog_time / serialization) if serialization > 0 else 0
+            int(backlog_time / serialization)
+            if backlog_time > 0.0 and serialization > 0
+            else 0
         )
         if backlog_packets >= self.config.queue_capacity:
             direction.dropped += 1
@@ -139,9 +146,10 @@ class Link:
             self._record("link.drop.loss", packet, from_index)
             return
 
-        start = max(now, direction.busy_until)
-        direction.busy_until = start + serialization
-        arrival = direction.busy_until + self.config.propagation_delay + self._jitter_draw()
+        start = now if now > busy_until else busy_until
+        busy_until = start + serialization
+        direction.busy_until = busy_until
+        arrival = busy_until + self.config.propagation_delay + self._jitter_draw()
         if not self.reorder_allowed and arrival < direction.last_arrival:
             arrival = direction.last_arrival
         direction.last_arrival = arrival
@@ -149,7 +157,17 @@ class Link:
 
         to_end = self.b if from_index == 0 else self.a
         self._sim.schedule_at(arrival, lambda: self._deliver(to_end, packet))
-        self._record("link.send", packet, from_index, arrival=arrival)
+        trace = self._trace
+        if trace is not None:
+            trace.record(
+                now,
+                "link.send",
+                link=self.name,
+                direction=from_index,
+                packet_id=packet.packet_id,
+                size=packet.wire_size,
+                arrival=arrival,
+            )
 
     def _deliver(self, end: LinkEnd, packet: Packet) -> None:
         if end.handler is None:

@@ -40,26 +40,26 @@ class Packet:
     segment: Any
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     created_at: float = 0.0
+    #: Transport payload length in bytes (0 for bare ACKs).  Sizes are
+    #: fixed at creation (the segment never changes after the packet is
+    #: built) and cached: every hop, queue and capture point reads them.
+    payload_bytes: int = field(init=False)
+    #: IP + TCP header overhead, including TCP option bytes.
+    header_bytes: int = field(init=False)
+    #: Total bytes this packet occupies on the wire.
+    wire_size: int = field(init=False)
 
-    @property
-    def payload_bytes(self) -> int:
-        """Transport payload length in bytes (0 for bare ACKs)."""
-        if self.segment is None:
-            return 0
-        return int(getattr(self.segment, "payload_bytes", 0))
-
-    @property
-    def header_bytes(self) -> int:
-        """IP + TCP header overhead, including TCP option bytes."""
-        option_bytes = 0
-        if self.segment is not None:
-            option_bytes = int(getattr(self.segment, "option_bytes", 0))
-        return IP_HEADER_BYTES + TCP_HEADER_BYTES + option_bytes
-
-    @property
-    def wire_size(self) -> int:
-        """Total bytes this packet occupies on the wire."""
-        return self.header_bytes + self.payload_bytes
+    def __post_init__(self) -> None:
+        segment = self.segment
+        if segment is None:
+            payload = 0
+            options = 0
+        else:
+            payload = int(getattr(segment, "payload_bytes", 0))
+            options = int(getattr(segment, "option_bytes", 0))
+        self.payload_bytes = payload
+        self.header_bytes = IP_HEADER_BYTES + TCP_HEADER_BYTES + options
+        self.wire_size = self.header_bytes + payload
 
     def __repr__(self) -> str:
         return (

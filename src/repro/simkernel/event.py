@@ -5,6 +5,13 @@ number is a monotonically increasing insertion counter, which makes the
 ordering total and the simulation fully deterministic: two events
 scheduled for the same instant fire in the order they were scheduled.
 
+The heap stores ``(time, priority, sequence, event)`` tuples rather
+than the events themselves, so sift comparisons are plain C tuple
+comparisons — the sequence component is unique, so the :class:`Event`
+in the last slot is never compared.  This is the single hottest
+data structure in the simulator (hundreds of thousands of pushes and
+pops per trial).
+
 Cancellation is lazy — a cancelled event stays in the heap and is
 skipped when popped — but the queue counts its cancelled residents and
 compacts the heap when they outnumber the live ones, so long horizons
@@ -14,8 +21,7 @@ callbacks they close over) resident.
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.simkernel.errors import SchedulingError
@@ -81,7 +87,7 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: list = []
-        self._counter = itertools.count()
+        self._sequence = 0
         self._cancelled = 0
 
     def __len__(self) -> int:
@@ -99,15 +105,17 @@ class EventQueue:
 
     def _compact(self) -> None:
         """Rebuild the heap without its cancelled entries."""
-        self._heap = [event for event in self._heap if not event.cancelled]
-        heapq.heapify(self._heap)
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapify(self._heap)
         self._cancelled = 0
 
     def push(self, time: float, priority: int, callback: Callable[[], Any]) -> Event:
         """Insert a new event and return it (so the caller can cancel it)."""
-        event = Event(time, priority, next(self._counter), callback)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, priority, sequence, callback)
         event._queue = self
-        heapq.heappush(self._heap, event)
+        heappush(self._heap, (time, priority, sequence, event))
         return event
 
     def pop(self) -> Optional[Event]:
@@ -115,26 +123,51 @@ class EventQueue:
 
         Cancelled events encountered on the way are discarded silently.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[3]
             if not event.cancelled:
                 event._queue = None
                 return event
             self._cancelled -= 1
         return None
 
+    def pop_until(self, until: Optional[float]) -> Optional[Event]:
+        """Pop the earliest live event firing at or before ``until``.
+
+        Returns None when the queue is empty or the earliest live event
+        fires after ``until`` (the event stays queued).  This is the run
+        loop's fast path: one heap traversal instead of a peek followed
+        by a pop.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if event.cancelled:
+                heappop(heap)
+                self._cancelled -= 1
+                continue
+            if until is not None and entry[0] > until:
+                return None
+            heappop(heap)
+            event._queue = None
+            return event
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest live event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heappop(heap)
             self._cancelled -= 1
-        if not self._heap:
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def clear(self) -> None:
         """Drop every pending event."""
-        for event in self._heap:
-            event._queue = None
+        for entry in self._heap:
+            entry[3]._queue = None
         self._heap.clear()
         self._cancelled = 0

@@ -32,7 +32,19 @@ from repro.tcp.config import TCPConfig
 from repro.tcp.congestion import make_congestion_control
 from repro.tcp.reassembly import ReassemblyBuffer
 from repro.tcp.rtt import RTOEstimator
-from repro.tcp.segment import ACK, FIN, RST, SYN, TCPSegment
+from repro.tcp.segment import (
+    ACK,
+    FIN,
+    FLAGS_ACK,
+    FLAGS_FIN_ACK,
+    FLAGS_RST_ACK,
+    FLAGS_SYN,
+    FLAGS_SYN_ACK,
+    RST,
+    SYN,
+    TCPSegment,
+    flag_set,
+)
 from repro.tcp.stream import StreamLayout
 
 
@@ -138,14 +150,14 @@ class TCPConnection:
             raise RuntimeError(f"connect() in state {self.state}")
         self.state = TCPState.SYN_SENT
         self._syn_time = self._sim.now
-        self._emit(flags={SYN})
+        self._emit(FLAGS_SYN)
         self._retransmit_timer.start(self.rto.rto)
         self._record("tcp.syn_sent")
 
     def accept_syn(self) -> None:
         """Server side: respond to a received SYN (called by the listener)."""
         self.state = TCPState.SYN_RCVD
-        self._emit(flags={SYN, ACK})
+        self._emit(FLAGS_SYN_ACK)
         self._retransmit_timer.start(self.rto.rto)
         self._record("tcp.syn_rcvd")
 
@@ -176,7 +188,7 @@ class TCPConnection:
         """Abort the connection with RST."""
         if self.state is TCPState.CLOSED:
             return
-        self._emit(flags={RST, ACK})
+        self._emit(FLAGS_RST_ACK)
         self._teardown(reset=True)
 
     @property
@@ -237,7 +249,7 @@ class TCPConnection:
                 # Fall through: the ACK may carry data.
             elif segment.has(SYN):
                 # Duplicate SYN: re-answer.
-                self._emit(flags={SYN, ACK})
+                self._emit(FLAGS_SYN_ACK)
                 return
 
         if self.state is TCPState.CLOSED:
@@ -299,7 +311,7 @@ class TCPConnection:
             # The FIN consumes one sequence number so its ACK is
             # distinguishable (ack = fin_seq + 1).
             self._fin_seq = self.snd_nxt
-            self._emit(flags={FIN, ACK})
+            self._emit(FLAGS_FIN_ACK)
             self.snd_nxt += 1
             self.snd_max = max(self.snd_max, self.snd_nxt)
             if not self._retransmit_timer.armed:
@@ -318,7 +330,7 @@ class TCPConnection:
         segment = TCPSegment(
             seq=seq,
             ack=self.reassembly.rcv_nxt,
-            flags=frozenset({ACK}),
+            flags=FLAGS_ACK,
             payload_bytes=length,
             window=self.config.receive_window,
             option_bytes=self.config.option_bytes
@@ -437,16 +449,18 @@ class TCPConnection:
     def _on_rto(self) -> None:
         if self.state in (TCPState.SYN_SENT, TCPState.SYN_RCVD):
             # Handshake retransmission.
-            flags = {SYN} if self.state is TCPState.SYN_SENT else {SYN, ACK}
+            flags = (
+                FLAGS_SYN if self.state is TCPState.SYN_SENT else FLAGS_SYN_ACK
+            )
             self.rto.on_timeout()
-            self._emit(flags=flags)
+            self._emit(flags)
             self._retransmit_timer.start(self.rto.rto)
             self._record("tcp.retransmit", kind="handshake")
             return
         if self._fin_seq is not None and self.snd_una >= self.layout.next_seq:
             # Only the FIN is outstanding.
             self.rto.on_timeout()
-            self._emit(flags={FIN, ACK})
+            self._emit(FLAGS_FIN_ACK)
             self._retransmit_timer.start(self.rto.rto)
             self._record("tcp.retransmit", kind="fin")
             return
@@ -504,12 +518,13 @@ class TCPConnection:
             self._send_ack_now()
 
     def _deliver_new_messages(self, upto: int) -> None:
-        if self._peer_layout is None:
+        layout = self._peer_layout
+        if layout is None:
             return
-        for span in self._peer_layout.spans_completed_by(upto):
+        for span in layout.spans_completed_in(self._delivered_upto, upto):
             if span.end <= self._delivered_upto:
-                continue
-            self._delivered_upto = max(self._delivered_upto, span.end)
+                continue  # a reentrant delivery already covered it
+            self._delivered_upto = span.end
             if self.on_message:
                 self.on_message(span.message, False)
 
@@ -582,18 +597,18 @@ class TCPConnection:
     def _send_ack_now(self) -> None:
         self._delack_timer.cancel()
         self._segments_since_ack = 0
-        self._emit(flags={ACK})
+        self._emit(FLAGS_ACK)
 
     def _emit(self, flags) -> None:
-        flag_set = frozenset(flags)
+        flags = flag_set(flags)
         seq = self.snd_nxt
-        if FIN in flag_set and self._fin_seq is not None:
+        if FIN in flags and self._fin_seq is not None:
             seq = self._fin_seq  # retransmitted FINs keep their number
         sack_blocks = self._own_sack_blocks()
         segment = TCPSegment(
             seq=seq,
             ack=self.reassembly.rcv_nxt,
-            flags=flag_set,
+            flags=flags,
             payload_bytes=0,
             window=self.config.receive_window,
             option_bytes=self.config.option_bytes

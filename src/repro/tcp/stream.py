@@ -36,6 +36,7 @@ class StreamLayout:
     def __init__(self, initial_seq: int = 0) -> None:
         self._spans: List[MessageSpan] = []
         self._starts: List[int] = []
+        self._ends: List[int] = []
         self._next_seq = initial_seq
         self.initial_seq = initial_seq
 
@@ -65,6 +66,7 @@ class StreamLayout:
         span = MessageSpan(self._next_seq, self._next_seq + length, message)
         self._spans.append(span)
         self._starts.append(span.start)
+        self._ends.append(span.end)
         self._next_seq = span.end
         return span
 
@@ -106,11 +108,22 @@ class StreamLayout:
         ]
 
     def spans_completed_by(self, upto: int) -> List[MessageSpan]:
-        """Spans that end at or before sequence number ``upto``."""
-        result = []
-        for span in self._spans:
-            if span.end <= upto:
-                result.append(span)
-            else:
-                break
-        return result
+        """Spans that end at or before sequence number ``upto``.
+
+        Spans are contiguous, so their end offsets are strictly
+        increasing and one bisection finds the cut point.
+        """
+        return self._spans[: bisect.bisect_right(self._ends, upto)]
+
+    def spans_completed_in(self, after: int, upto: int) -> List[MessageSpan]:
+        """Spans with ``after < end <= upto``, in stream order.
+
+        This is the receiver's delivery query: spans newly completed by
+        an advance of the in-order frontier from ``after`` to ``upto``.
+        Bisecting both bounds keeps repeated deliveries from rescanning
+        every span delivered so far (the old linear scan made receive
+        processing quadratic in the number of messages).
+        """
+        low = bisect.bisect_right(self._ends, after)
+        high = bisect.bisect_right(self._ends, upto)
+        return self._spans[low:high]
