@@ -28,7 +28,11 @@ Quick start::
 from repro import profiling
 from repro.core.adversary import Adversary, AdversaryConfig
 from repro.core.sequence import SequenceAttackResult
-from repro.experiments.executor import TrialExecutor
+from repro.experiments.executor import (
+    FaultTolerance,
+    TrialError,
+    TrialExecutor,
+)
 from repro.experiments.harness import (
     TrialConfig,
     TrialResult,
@@ -36,6 +40,7 @@ from repro.experiments.harness import (
     run_trial,
     summarize_trial,
 )
+from repro.netsim.faults import FaultSchedule
 from repro.web.workload import VolunteerWorkload
 
 __version__ = "1.0.0"
@@ -43,8 +48,11 @@ __version__ = "1.0.0"
 __all__ = [
     "Adversary",
     "AdversaryConfig",
+    "FaultSchedule",
+    "FaultTolerance",
     "SequenceAttackResult",
     "TrialConfig",
+    "TrialError",
     "TrialExecutor",
     "TrialResult",
     "TrialSummary",

@@ -38,7 +38,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "baseline", "table1", "table2", "fig1", "fig5", "fig6",
             "delay", "ablations", "attack", "trigger", "streaming",
             "partialmux", "generalization", "fingerprint", "scorecard",
-            "profile",
+            "profile", "robustness-study",
         ],
         help="which paper experiment to run",
     )
@@ -60,6 +60,37 @@ def _build_parser() -> argparse.ArgumentParser:
             "REPRO_WORKERS environment variable, else 1 = serial); "
             "results are identical for any worker count"
         ),
+    )
+    robustness = parser.add_argument_group(
+        "robustness-study options",
+        "fault-intensity sweep with the fault-tolerant executor",
+    )
+    robustness.add_argument(
+        "--quick", action="store_true",
+        help="reduced sweep (3 intensity levels, 3 trials each) for CI",
+    )
+    robustness.add_argument(
+        "--levels", type=str, default=None,
+        help="comma-separated fault intensities in [0, 1] to sweep",
+    )
+    robustness.add_argument(
+        "--checkpoint", type=str, default=None, metavar="PATH",
+        help=(
+            "JSON checkpoint file; completed trials stream into it and a "
+            "re-run with the same file resumes instead of recomputing"
+        ),
+    )
+    robustness.add_argument(
+        "--json", type=str, default=None, metavar="PATH", dest="json_out",
+        help="also write the study result as JSON to this path",
+    )
+    robustness.add_argument(
+        "--trial-timeout", type=float, default=300.0,
+        help="per-trial wall-clock budget in seconds (default 300)",
+    )
+    robustness.add_argument(
+        "--trial-retries", type=int, default=1,
+        help="same-seed retries per crashed/hung/failed trial (default 1)",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -172,6 +203,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                              workers=args.workers)
         print(card.render())
         return 0 if card.all_shapes_hold else 1
+    elif args.experiment == "robustness-study":
+        return _run_robustness_study(args, workers)
     elif args.experiment == "profile":
         from repro.experiments.hotpath import profile_reference
         _, report = profile_reference(seed=args.seed)
@@ -185,6 +218,51 @@ def main(argv: Optional[List[str]] = None) -> int:
             profiler.counters[name] = amount
         profiling.deactivate()
         print(profiler.render(), file=sys.stderr)
+    return 0
+
+
+def _run_robustness_study(args, workers) -> int:
+    """The fault-intensity sweep (see repro.experiments.robustness_study)."""
+    import json as json_module
+
+    from repro.experiments import robustness_study
+    from repro.experiments.executor import FaultTolerance
+
+    if args.levels:
+        try:
+            intensities = tuple(
+                float(level) for level in args.levels.split(",") if level
+            )
+        except ValueError:
+            print(f"repro: bad --levels value {args.levels!r}",
+                  file=sys.stderr)
+            return 2
+    elif args.quick:
+        intensities = robustness_study.QUICK_INTENSITIES
+    else:
+        intensities = robustness_study.INTENSITIES
+    trials = min(args.trials, 3) if args.quick else args.trials
+    fault_tolerance = FaultTolerance(
+        timeout=args.trial_timeout,
+        retries=args.trial_retries,
+        checkpoint_path=args.checkpoint,
+    )
+    result = robustness_study.run(
+        trials=trials,
+        seed=args.seed,
+        intensities=intensities,
+        workers=workers,
+        fault_tolerance=fault_tolerance,
+    )
+    print(result.render())
+    if not result.monotone_story:
+        print("repro: warning: sweep is not monotone (success rose with "
+              "fault intensity)", file=sys.stderr)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json_module.dump(result.to_json(), handle, indent=2,
+                             sort_keys=True)
+            handle.write("\n")
     return 0
 
 

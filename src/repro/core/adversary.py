@@ -33,6 +33,10 @@ class AttackPhase(enum.Enum):
     SPACING = "spacing"
     DROPPING = "dropping"
     ESCALATED = "escalated"
+    #: The drop-phase serialization attempt failed and the retry budget
+    #: is exhausted — the attack gives up instead of reporting garbage
+    #: estimates (graceful degradation under network faults).
+    ABORTED = "aborted"
 
 
 @dataclass
@@ -68,6 +72,25 @@ class AdversaryConfig:
     #: verdict (the §VII "ML triggering" extension) instead of the
     #: fixed ``trigger_get_index``.
     trigger_classifier: Optional[object] = None
+    #: Adaptive recovery (graceful degradation under network faults).
+    #: After each drop window the adversary checks, through its own
+    #: :class:`~repro.core.monitor.TrafficMonitor` view of the gateway
+    #: capture, whether the client visibly reacted — new (non-
+    #: retransmitted) GETs observed after the window opened, the wire
+    #: signature of RST_STREAM-and-re-request.  If nothing new was seen
+    #: (the window coincided with an outage or a total stall) the drop
+    #: phase is re-triggered with exponential backoff, up to this many
+    #: retries; exhausting the budget moves the attack to ``ABORTED``
+    #: instead of escalating over garbage.  0 disables detection and
+    #: retries entirely — the pre-fault-tolerance behaviour.
+    max_drop_retries: int = 0
+    #: Initial pause before the first re-triggered drop window.
+    retry_backoff: float = 0.5
+    #: Multiplier applied to the backoff after every retry.
+    retry_backoff_factor: float = 2.0
+    #: Minimum new GETs observed after the window opened for the
+    #: attempt to count as a success.
+    retry_success_min_gets: int = 1
 
     def __post_init__(self) -> None:
         if self.initial_jitter < 0 or self.escalated_jitter < 0:
@@ -78,6 +101,14 @@ class AdversaryConfig:
             raise ValueError("trigger GET index is 1-based")
         if self.jitter_mode not in ("spacing", "ideal", "random"):
             raise ValueError(f"unknown jitter mode {self.jitter_mode!r}")
+        if self.max_drop_retries < 0:
+            raise ValueError("max_drop_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError("retry_backoff_factor must be >= 1")
+        if self.retry_success_min_gets < 1:
+            raise ValueError("retry_success_min_gets must be >= 1")
 
 
 class Adversary:
@@ -95,10 +126,19 @@ class Adversary:
         self.phase = AttackPhase.IDLE
         self.trigger_time: Optional[float] = None
         self.escalation_time: Optional[float] = None
+        #: Drop-window retries spent so far (adaptive recovery).
+        self.retries_used = 0
+        #: When the current (or last) drop window opened.
+        self.attempt_started: Optional[float] = None
+        self.abort_time: Optional[float] = None
 
     @property
     def sim(self):
         return self.controller.sim
+
+    @property
+    def aborted(self) -> bool:
+        return self.phase is AttackPhase.ABORTED
 
     def arm(self) -> None:
         """Phase 1: jitter + GET counting; register the trigger."""
@@ -131,6 +171,7 @@ class Adversary:
             self.controller.install_drops(self.config.drop_rate)
             self.controller.start_drops(self.config.drop_duration)
             self.phase = AttackPhase.DROPPING
+            self.attempt_started = now
             self.sim.schedule(self.config.drop_duration, self._on_drops_done)
         else:
             self._escalate()
@@ -140,10 +181,70 @@ class Adversary:
         )
 
     def _on_drops_done(self) -> None:
-        """Phase 3 → 4: drop window over; escalate the spacing."""
+        """Phase 3 → 4: drop window over; escalate, retry, or abort."""
         if self.phase is not AttackPhase.DROPPING:
             return
-        self._escalate()
+        if self.config.max_drop_retries == 0:
+            self._escalate()
+            return
+        if self._serialization_succeeded():
+            self._escalate()
+            return
+        if self.retries_used >= self.config.max_drop_retries:
+            self._abort()
+            return
+        backoff = self.config.retry_backoff * (
+            self.config.retry_backoff_factor ** self.retries_used
+        )
+        self.retries_used += 1
+        self._record(
+            "attack.retry_scheduled",
+            attempt=self.retries_used,
+            backoff=backoff,
+        )
+        self.sim.schedule(backoff, self._retry_drops)
+
+    def _serialization_succeeded(self) -> bool:
+        """Did the drop window visibly elicit the client's reaction?
+
+        The adversary owns the gateway, so it can replay its own capture
+        through a :class:`~repro.core.monitor.TrafficMonitor`.  A
+        successful window shows *new* (non-retransmitted) GET requests
+        after the window opened — the re-requests that follow the forced
+        RST_STREAMs, or at minimum continued request traffic to
+        serialize.  A window that coincided with an outage, a link flap
+        or a client stalled into deep RTO backoff shows nothing new, and
+        dropping was wasted.
+        """
+        if self.attempt_started is None:
+            return False
+        from repro.core.monitor import TrafficMonitor
+
+        monitor = TrafficMonitor(self.controller.middlebox.capture)
+        fresh = [
+            observation
+            for observation in monitor.get_requests()
+            if observation.time > self.attempt_started
+        ]
+        return len(fresh) >= self.config.retry_success_min_gets
+
+    def _retry_drops(self) -> None:
+        """Re-open the drop window for another serialization attempt."""
+        if self.phase is not AttackPhase.DROPPING:
+            return
+        now = self.sim.now
+        self.attempt_started = now
+        self.controller.start_drops(self.config.drop_duration)
+        self._record("attack.retry", attempt=self.retries_used)
+        self.sim.schedule(self.config.drop_duration, self._on_drops_done)
+
+    def _abort(self) -> None:
+        """Give up: stop actuating and report no estimate at all."""
+        self.phase = AttackPhase.ABORTED
+        self.abort_time = self.sim.now
+        if self.controller.drop_filter is not None:
+            self.controller.drop_filter.deactivate()
+        self._record("attack.aborted", retries=self.retries_used)
 
     def _escalate(self) -> None:
         if self.config.enable_escalation:

@@ -69,6 +69,10 @@ class SequenceAttackResult:
     sequence_truth: List[str] = field(default_factory=list)
     sequence_correct: Dict[str, bool] = field(default_factory=dict)
     broken_connection: bool = False
+    #: The adversary gave up (ABORTED phase) instead of estimating; the
+    #: verdicts above describe what the wire happened to show, but the
+    #: attack claims no success for them.
+    attack_aborted: bool = False
 
     def single_success(self, object_id: str) -> bool:
         verdict = self.single_object.get(object_id)
@@ -108,6 +112,7 @@ class SequenceAttack:
         report: MultiplexingReport,
         analysis_start: float = 0.0,
         broken_connection: bool = False,
+        attack_aborted: bool = False,
     ) -> SequenceAttackResult:
         """Score one trial.
 
@@ -118,10 +123,13 @@ class SequenceAttack:
                 analyses traffic after the reset window when targeting
                 the image sequence).
             broken_connection: the page load failed outright.
+            attack_aborted: the adversary's drop phase gave up; the
+                result is flagged so aggregations can exclude it.
         """
         result = SequenceAttackResult(
             sequence_truth=[f"emblem-{p}" for p in self.site.party_order],
             broken_connection=broken_connection,
+            attack_aborted=attack_aborted,
         )
         packets = monitor.response_packets()
         estimates = self.estimator.estimate(packets)

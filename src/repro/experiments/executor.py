@@ -23,13 +23,53 @@ bit-identical regardless of worker count or backend.
 
 Worker count resolution order: explicit ``workers=`` argument, then the
 ``REPRO_WORKERS`` environment variable, then 1 (serial).
+
+Fault tolerance
+---------------
+
+``map_trials`` accepts an optional :class:`FaultTolerance` policy.  With
+one active, the executor switches from a shared pool to supervised
+one-process-per-trial dispatch and guarantees:
+
+* a worker exception is returned as a structured :class:`TrialError`
+  carrying the trial index and traceback instead of poisoning the pool;
+* a crashed worker (``SIGKILL``, OOM, hard exit) is detected by its
+  exit code and only that trial is affected;
+* a hung trial is killed after ``timeout`` wall-clock seconds;
+* each failed trial is retried up to ``retries`` times — trials are
+  seeded from their index alone, so a retry deterministically
+  reproduces what the lost worker would have computed;
+* completed results stream into a JSON checkpoint
+  (``checkpoint_path``), and a re-run with the same checkpoint skips
+  completed trials — a long sweep survives interruption of the whole
+  run, with a final output identical to an uninterrupted one.
+
+Even without a :class:`FaultTolerance` policy, worker exceptions are
+wrapped as :class:`TrialExecutionError` so the failing trial index is
+never lost.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
-from typing import Callable, Iterable, List, Optional, TypeVar, Union
+import queue as queue_module
+import tempfile
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    TypeVar,
+    Union,
+)
 
 T = TypeVar("T")
 
@@ -37,6 +77,179 @@ T = TypeVar("T")
 WORKERS_ENV = "REPRO_WORKERS"
 
 _BACKENDS = ("serial", "process")
+
+#: Grace period between noticing a dead worker and declaring it crashed
+#: (its result may still be in flight through the queue feeder).
+_CRASH_GRACE = 1.0
+
+#: Supervision loop poll interval, seconds.
+_POLL_INTERVAL = 0.05
+
+
+class TrialExecutionError(RuntimeError):
+    """A worker-side exception, wrapped with the failing trial index.
+
+    Raised in the parent process when a trial task fails and no
+    :class:`FaultTolerance` policy asked for structured error records.
+    ``trial`` identifies the failing trial; ``details`` carries the
+    worker-side ``repr`` (and traceback, when available) of the cause.
+    """
+
+    def __init__(self, trial: int, details: str) -> None:
+        super().__init__(f"trial {trial} failed: {details}")
+        self.trial = trial
+        self.details = details
+
+    def __reduce__(self):
+        # Exceptions cross the process boundary pickled; rebuild from
+        # the two real arguments rather than the formatted message.
+        return (TrialExecutionError, (self.trial, self.details))
+
+
+@dataclass(frozen=True)
+class TrialError:
+    """Structured record of one trial that exhausted its retries."""
+
+    trial: int
+    attempts: int
+    error: str
+    traceback: str = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "trial": self.trial,
+            "attempts": self.attempts,
+            "error": self.error,
+            "traceback": self.traceback,
+        }
+
+
+@dataclass(frozen=True)
+class FaultTolerance:
+    """Fault-tolerance policy for :meth:`TrialExecutor.map_trials`.
+
+    Attributes:
+        timeout: per-trial wall-clock budget in seconds; a worker
+            running longer is killed and the trial retried (process
+            backend only — a serial run cannot preempt itself).
+        retries: extra attempts per trial after the first failure.
+        checkpoint_path: JSON file streaming completed results; on the
+            next run, trials already recorded there are not re-run.
+            Results must be JSON-serializable (plain dicts/lists/
+            scalars) when checkpointing is enabled.
+        checkpoint_every: flush the checkpoint after this many newly
+            completed trials (1 = after every trial).
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 1
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+
+
+class _IndexedTask:
+    """Wraps the user task so worker failures carry the trial index."""
+
+    def __init__(self, task: Callable[[int], T]) -> None:
+        self.task = task
+
+    def __call__(self, index: int) -> T:
+        try:
+            return self.task(index)
+        except Exception as error:
+            raise TrialExecutionError(
+                index, f"{type(error).__name__}: {error}"
+            ) from error
+
+
+def _trial_worker(task, index, result_queue):  # pragma: no cover - subprocess
+    """Spawn target: run one trial, ship (index, ok, payload, tb) back."""
+    try:
+        result = task(index)
+    except BaseException as error:
+        result_queue.put(
+            (
+                index,
+                False,
+                f"{type(error).__name__}: {error}",
+                traceback.format_exc(),
+            )
+        )
+    else:
+        result_queue.put((index, True, result, ""))
+
+
+class Checkpoint:
+    """A JSON file of completed trial results, written atomically.
+
+    Format::
+
+        {"version": 1, "results": {"<trial index>": <result>, ...}}
+
+    Only successes are persisted — errored trials are retried from
+    scratch on resume.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.results: Dict[int, Any] = {}
+        self._dirty = 0
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("version") != self.VERSION:
+                raise ValueError(
+                    f"checkpoint {path!r} has unsupported version "
+                    f"{payload.get('version')!r}"
+                )
+            self.results = {
+                int(key): value
+                for key, value in payload.get("results", {}).items()
+            }
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self.results
+
+    def record(self, index: int, result: Any, flush_every: int = 1) -> None:
+        self.results[index] = result
+        self._dirty += 1
+        if self._dirty >= flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        payload = {
+            "version": self.VERSION,
+            "results": {
+                str(index): value
+                for index, value in sorted(self.results.items())
+            },
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=".checkpoint-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(temp_path, self.path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        self._dirty = 0
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -99,7 +312,8 @@ class TrialExecutor:
         self,
         trials: Union[int, Iterable[int]],
         task: Callable[[int], T],
-    ) -> List[T]:
+        fault_tolerance: Optional[FaultTolerance] = None,
+    ) -> List[Union[T, TrialError]]:
         """Run ``task(index)`` for every trial index, in index order.
 
         Args:
@@ -109,6 +323,12 @@ class TrialExecutor:
                 ``functools.partial`` of one, or an instance of a
                 module-level class defining ``__call__``.  Its return
                 value must be picklable on the process backend.
+            fault_tolerance: optional policy adding per-trial timeout,
+                retry, crash isolation and checkpoint/resume.  With a
+                policy active, trials that exhaust their retries yield
+                :class:`TrialError` records in the result list instead
+                of raising; without one, a worker exception is raised
+                as :class:`TrialExecutionError` naming the trial.
 
         Returns:
             The task results, ordered like the input indices regardless
@@ -117,13 +337,187 @@ class TrialExecutor:
         indices = (
             list(range(trials)) if isinstance(trials, int) else list(trials)
         )
+        if fault_tolerance is not None:
+            return self._map_fault_tolerant(indices, task, fault_tolerance)
         workers = min(self.workers, len(indices))
+        wrapped = _IndexedTask(task)
         if self.backend == "serial" or workers <= 1:
-            return [task(index) for index in indices]
+            return [wrapped(index) for index in indices]
         context = multiprocessing.get_context("spawn")
         with context.Pool(processes=workers) as pool:
             return pool.map(
-                task, indices, chunksize=self._chunk_size(len(indices), workers)
+                wrapped, indices,
+                chunksize=self._chunk_size(len(indices), workers),
+            )
+
+    # -- Fault-tolerant dispatch ------------------------------------------
+
+    def _map_fault_tolerant(
+        self,
+        indices: List[int],
+        task: Callable[[int], T],
+        policy: FaultTolerance,
+    ) -> List[Union[T, TrialError]]:
+        checkpoint = (
+            Checkpoint(policy.checkpoint_path)
+            if policy.checkpoint_path else None
+        )
+        results: Dict[int, Any] = {}
+        if checkpoint is not None:
+            results.update(
+                (index, checkpoint.results[index])
+                for index in indices
+                if index in checkpoint
+            )
+        pending = [index for index in indices if index not in results]
+        workers = min(self.workers, len(pending)) if pending else 0
+        if pending:
+            if self.backend == "serial" or workers <= 1:
+                self._run_serial_tolerant(
+                    pending, task, policy, results, checkpoint
+                )
+            else:
+                self._run_supervised(
+                    pending, task, policy, results, checkpoint, workers
+                )
+        if checkpoint is not None:
+            checkpoint.flush()
+        return [results[index] for index in indices]
+
+    def _run_serial_tolerant(
+        self, pending, task, policy, results, checkpoint
+    ) -> None:
+        """In-process fallback: retries and checkpointing, no preemption."""
+        for index in pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    outcome = task(index)
+                except Exception as error:
+                    if attempts <= policy.retries:
+                        continue
+                    outcome = TrialError(
+                        trial=index,
+                        attempts=attempts,
+                        error=f"{type(error).__name__}: {error}",
+                        traceback=traceback.format_exc(),
+                    )
+                break
+            self._finish_trial(index, outcome, results, checkpoint, policy)
+
+    def _run_supervised(
+        self, pending, task, policy, results, checkpoint, workers
+    ) -> None:
+        """One supervised spawn process per trial, ``workers`` at a time.
+
+        Unlike a shared pool, a crashed or hung worker here is *one
+        process* whose exit code and runtime the parent watches — so a
+        ``SIGKILL`` mid-trial, an OOM kill or an infinite loop costs one
+        attempt of one trial, never the sweep.
+        """
+        context = multiprocessing.get_context("spawn")
+        result_queue = context.Queue()
+        todo = deque(pending)
+        running: Dict[int, Dict[str, Any]] = {}
+        attempts: Dict[int, int] = {}
+
+        def launch(index: int) -> None:
+            attempts[index] = attempts.get(index, 0) + 1
+            process = context.Process(
+                target=_trial_worker,
+                args=(task, index, result_queue),
+                daemon=True,
+            )
+            process.start()
+            running[index] = {
+                "process": process,
+                "started": time.monotonic(),
+                "dead_since": None,
+            }
+
+        def retire(index: int, outcome: Any) -> None:
+            state = running.pop(index)
+            state["process"].join(timeout=_CRASH_GRACE)
+            self._finish_trial(index, outcome, results, checkpoint, policy)
+
+        def retry_or_fail(index: int, error: str, tb: str = "") -> None:
+            state = running.pop(index)
+            process = state["process"]
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=_CRASH_GRACE)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=_CRASH_GRACE)
+            if attempts[index] <= policy.retries:
+                todo.appendleft(index)
+            else:
+                self._finish_trial(
+                    index,
+                    TrialError(
+                        trial=index,
+                        attempts=attempts[index],
+                        error=error,
+                        traceback=tb,
+                    ),
+                    results, checkpoint, policy,
+                )
+
+        try:
+            while todo or running:
+                while todo and len(running) < workers:
+                    launch(todo.popleft())
+                try:
+                    message = result_queue.get(timeout=_POLL_INTERVAL)
+                except queue_module.Empty:
+                    message = None
+                if message is not None:
+                    index, ok, payload, tb = message
+                    if index in running:
+                        if ok:
+                            retire(index, payload)
+                        else:
+                            retry_or_fail(index, payload, tb)
+                    continue  # drain before supervising
+                now = time.monotonic()
+                for index in list(running):
+                    state = running[index]
+                    process = state["process"]
+                    if (
+                        policy.timeout is not None
+                        and now - state["started"] > policy.timeout
+                        and process.is_alive()
+                    ):
+                        retry_or_fail(
+                            index,
+                            f"timeout: trial exceeded {policy.timeout:.1f}s",
+                        )
+                        continue
+                    if not process.is_alive():
+                        # Dead without a result *yet* — allow the queue
+                        # feeder a grace period before declaring a crash.
+                        if state["dead_since"] is None:
+                            state["dead_since"] = now
+                        elif now - state["dead_since"] > _CRASH_GRACE:
+                            retry_or_fail(
+                                index,
+                                "worker crashed with exit code "
+                                f"{process.exitcode}",
+                            )
+        finally:
+            for state in running.values():
+                process = state["process"]
+                if process.is_alive():
+                    process.terminate()
+            result_queue.close()
+            result_queue.join_thread()
+
+    def _finish_trial(self, index, outcome, results, checkpoint, policy):
+        results[index] = outcome
+        if checkpoint is not None and not isinstance(outcome, TrialError):
+            checkpoint.record(
+                index, outcome, flush_every=policy.checkpoint_every
             )
 
     def __repr__(self) -> str:
@@ -136,6 +530,9 @@ def map_trials(
     trials: Union[int, Iterable[int]],
     task: Callable[[int], T],
     workers: Optional[int] = None,
-) -> List[T]:
+    fault_tolerance: Optional[FaultTolerance] = None,
+) -> List[Union[T, TrialError]]:
     """One-shot convenience wrapper over :class:`TrialExecutor`."""
-    return TrialExecutor(workers=workers).map_trials(trials, task)
+    return TrialExecutor(workers=workers).map_trials(
+        trials, task, fault_tolerance=fault_tolerance
+    )

@@ -30,6 +30,7 @@ from repro.core.sequence import SequenceAttack, SequenceAttackResult
 from repro.h2.client import H2Client
 from repro.h2.server import H2Server, ServerConfig
 from repro.netsim.capture import Direction
+from repro.netsim.faults import FaultSchedule
 from repro.netsim.topology import PathTopology, build_adversary_path
 from repro.simkernel.trace import TraceLog
 from repro.web.browser import Browser, BrowserConfig
@@ -57,6 +58,11 @@ class TrialConfig:
         horizon: absolute simulated-time budget for the load.
         settle_time: extra time after page completion before the
             capture is analyzed (lets in-flight packets land).
+        faults: chaos-layer fault schedule (see
+            :mod:`repro.netsim.faults`), or None for clean links.
+        fault_location: which link(s) the schedule perturbs —
+            ``"server"`` (the WAN hop), ``"client"`` (the LAN hop) or
+            ``"both"``.
     """
 
     adversary: Optional[AdversaryConfig] = None
@@ -67,6 +73,14 @@ class TrialConfig:
     schedule_override: Optional[LoadSchedule] = None
     horizon: float = 40.0
     settle_time: float = 0.3
+    faults: Optional[FaultSchedule] = None
+    fault_location: str = "server"
+
+    def __post_init__(self) -> None:
+        if self.fault_location not in ("server", "client", "both"):
+            raise ValueError(
+                f"unknown fault location {self.fault_location!r}"
+            )
 
 
 @dataclass
@@ -129,6 +143,9 @@ class TrialResult:
             self.report,
             analysis_start=analysis_start,
             broken_connection=self.broken,
+            attack_aborted=(
+                self.adversary is not None and self.adversary.aborted
+            ),
         )
 
 
@@ -224,6 +241,9 @@ class TrialSummary:
         get_requests: the monitor's GET observations (trigger studies).
         trace_categories: histogram of trace categories.
         analysis: the offline attack analysis, when requested.
+        attack_phase: the adversary's final phase (None for baselines).
+        attack_retries: drop-window retries the adversary spent.
+        attack_aborted: the adversary exhausted its retry budget.
     """
 
     trial: int
@@ -240,6 +260,9 @@ class TrialSummary:
     get_requests: List[GetRequestObservation] = field(default_factory=list)
     trace_categories: Dict[str, int] = field(default_factory=dict)
     analysis: Optional[SequenceAttackResult] = None
+    attack_phase: Optional[str] = None
+    attack_retries: int = 0
+    attack_aborted: bool = False
 
     @property
     def broken(self) -> bool:
@@ -291,6 +314,15 @@ def summarize_result(result: "TrialResult", analyze: bool = True) -> TrialSummar
         get_requests=get_requests,
         trace_categories=result.trace.categories(),
         analysis=result.analyze() if analyze else None,
+        attack_phase=(
+            result.adversary.phase.value if result.adversary else None
+        ),
+        attack_retries=(
+            result.adversary.retries_used if result.adversary else 0
+        ),
+        attack_aborted=(
+            result.adversary.aborted if result.adversary else False
+        ),
     )
 
 
@@ -322,7 +354,16 @@ def run_trial(
     site = workload.session(trial)
     rng = workload.trial_rng(trial)
 
-    topology = build_adversary_path(seed=rng.master_seed)
+    fault_at = config.fault_location
+    topology = build_adversary_path(
+        seed=rng.master_seed,
+        client_faults=(
+            config.faults if fault_at in ("client", "both") else None
+        ),
+        server_faults=(
+            config.faults if fault_at in ("server", "both") else None
+        ),
+    )
     sim = topology.sim
     trace = topology.trace
 

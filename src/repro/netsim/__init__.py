@@ -10,6 +10,18 @@ adversary uses to delay, throttle and drop traffic.
 
 from repro.netsim.address import Endpoint
 from repro.netsim.capture import CaptureLog, Direction, PacketRecord
+from repro.netsim.faults import (
+    BandwidthDip,
+    DelaySpike,
+    Duplication,
+    FaultEffect,
+    FaultInjector,
+    FaultSchedule,
+    GilbertElliottLoss,
+    Outage,
+    ReorderWindow,
+    flaps,
+)
 from repro.netsim.link import Link, LinkConfig, LinkEnd
 from repro.netsim.middlebox import (
     Middlebox,
@@ -23,24 +35,34 @@ from repro.netsim.queue import DropTailQueue, TokenBucket
 from repro.netsim.topology import PathTopology, build_adversary_path
 
 __all__ = [
+    "BandwidthDip",
     "CaptureLog",
+    "DelaySpike",
     "Direction",
     "DropTailQueue",
+    "Duplication",
     "Endpoint",
+    "FaultEffect",
+    "FaultInjector",
+    "FaultSchedule",
+    "GilbertElliottLoss",
     "Host",
     "IP_HEADER_BYTES",
     "Link",
     "LinkConfig",
     "LinkEnd",
     "Middlebox",
+    "Outage",
     "Packet",
     "PacketAction",
     "PacketFilter",
     "PacketHandler",
     "PacketRecord",
     "PathTopology",
+    "ReorderWindow",
     "TCP_HEADER_BYTES",
     "TokenBucket",
     "Verdict",
     "build_adversary_path",
+    "flaps",
 ]

@@ -1,0 +1,369 @@
+"""Deterministic fault injection — the netsim's chaos layer.
+
+The paper's attack ran for three months on a live campus gateway, where
+loss bursts, link flaps and cross-traffic constantly perturbed it; the
+clean links of :mod:`repro.netsim.link` only model i.i.d. loss.  This
+module adds the missing impairments as a *schedule* of declarative,
+picklable fault specs:
+
+* :class:`GilbertElliottLoss` — bursty on/off loss (two-state Markov
+  chain with exponential sojourn times, the classic Gilbert–Elliott
+  channel);
+* :class:`Outage` — a full link outage window (plus :func:`flaps` to
+  build repeated down/up cycles);
+* :class:`BandwidthDip` — a transient capacity reduction (cross-traffic
+  eating the link);
+* :class:`DelaySpike` — added one-way delay, optionally jittered
+  per packet, during a window (bufferbloat, rerouting);
+* :class:`Duplication` — probabilistic packet duplication;
+* :class:`ReorderWindow` — probabilistic extra delay with the FIFO
+  delivery clamp lifted, so packets genuinely reorder.
+
+A :class:`FaultSchedule` composes any number of these.  Schedules are
+pure data until :meth:`FaultSchedule.bind` compiles them against a
+:class:`~repro.simkernel.randomstream.RandomStreams` and a unique name,
+yielding a :class:`FaultInjector` whose per-packet draws come from named
+substreams — the same seed therefore always produces the same fault
+realization, independent of any other consumer of the rng.
+
+Injectors are an actuation surface of both :class:`~repro.netsim.link.Link`
+(``faults=`` constructor argument, one independent injector per
+direction) and :class:`~repro.netsim.middlebox.Middlebox`
+(:meth:`~repro.netsim.middlebox.Middlebox.install_faults`), alongside
+the adversary's filter pipeline.  With no schedule configured nothing
+in the packet path changes — existing experiments stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.simkernel.randomstream import RandomStreams
+
+
+def _check_window(start: float, duration: float) -> None:
+    if start < 0:
+        raise ValueError("fault start must be non-negative")
+    if duration <= 0:
+        raise ValueError("fault duration must be positive")
+
+
+# ---------------------------------------------------------------------------
+# Fault specs (pure data, picklable)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GilbertElliottLoss:
+    """Bursty loss: a two-state (good/bad) Markov chain.
+
+    While active, the channel alternates between a *good* state losing
+    ``good_loss`` of packets and a *bad* state losing ``bad_loss``,
+    with exponentially distributed sojourn times of mean ``mean_good``
+    and ``mean_bad`` seconds.  State transitions advance in simulated
+    time (not per packet), so burst lengths are durations, like a real
+    fading or congested channel.
+    """
+
+    start: float = 0.0
+    duration: float = math.inf
+    good_loss: float = 0.0
+    bad_loss: float = 1.0
+    mean_good: float = 2.0
+    mean_bad: float = 0.050
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+        for rate in (self.good_loss, self.bad_loss):
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError("loss rates must be in [0, 1]")
+        if self.mean_good <= 0 or self.mean_bad <= 0:
+            raise ValueError("mean sojourn times must be positive")
+
+
+@dataclass(frozen=True)
+class Outage:
+    """Total loss of the link for one window (a flap's 'down' leg)."""
+
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+
+
+@dataclass(frozen=True)
+class BandwidthDip:
+    """Capacity multiplied by ``factor`` (0 < factor < 1) for a window."""
+
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+        if not (0.0 < self.factor < 1.0):
+            raise ValueError("bandwidth dip factor must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """Extra one-way delay during a window, plus optional per-packet jitter."""
+
+    start: float
+    duration: float
+    delay: float
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+        if self.delay < 0 or self.jitter < 0:
+            raise ValueError("delay and jitter must be non-negative")
+        if self.delay == 0 and self.jitter == 0:
+            raise ValueError("delay spike must add some delay")
+
+
+@dataclass(frozen=True)
+class Duplication:
+    """Duplicate each packet with ``probability`` during a window."""
+
+    start: float
+    duration: float
+    probability: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+        if not (0.0 < self.probability <= 1.0):
+            raise ValueError("duplication probability must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ReorderWindow:
+    """Random extra delay with FIFO delivery lifted, so packets reorder."""
+
+    start: float
+    duration: float
+    probability: float
+    max_delay: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+        if not (0.0 < self.probability <= 1.0):
+            raise ValueError("reorder probability must be in (0, 1]")
+        if self.max_delay <= 0:
+            raise ValueError("reorder max_delay must be positive")
+
+
+Impairment = Union[
+    GilbertElliottLoss, Outage, BandwidthDip, DelaySpike, Duplication,
+    ReorderWindow,
+]
+
+
+def flaps(
+    start: float, count: int, down: float, up: float
+) -> Tuple[Outage, ...]:
+    """``count`` repeated outages of ``down`` seconds, ``up`` apart."""
+    if count < 1:
+        raise ValueError("flap count must be >= 1")
+    if up <= 0:
+        raise ValueError("up time between flaps must be positive")
+    return tuple(
+        Outage(start + index * (down + up), down) for index in range(count)
+    )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered composition of impairments (pure data, picklable)."""
+
+    impairments: Tuple[Impairment, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "impairments", tuple(self.impairments))
+
+    def __bool__(self) -> bool:
+        return bool(self.impairments)
+
+    def __len__(self) -> int:
+        return len(self.impairments)
+
+    def extended(self, *more: Impairment) -> "FaultSchedule":
+        """A new schedule with ``more`` impairments appended."""
+        return FaultSchedule(self.impairments + tuple(more))
+
+    def bind(self, rng: RandomStreams, name: str) -> "FaultInjector":
+        """Compile into a runtime injector drawing from ``rng``.
+
+        ``name`` scopes the rng substreams; two injectors bound with
+        different names (e.g. the two directions of a link) realize the
+        same schedule with independent randomness.
+        """
+        return FaultInjector(self, rng, name)
+
+
+# ---------------------------------------------------------------------------
+# Runtime
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FaultEffect:
+    """What the active faults do to one packet."""
+
+    drop: bool = False
+    reason: Optional[str] = None
+    extra_delay: float = 0.0
+    capacity_factor: float = 1.0
+    duplicate: bool = False
+    allow_reorder: bool = False
+
+    @property
+    def any(self) -> bool:
+        return (
+            self.drop
+            or self.extra_delay > 0.0
+            or self.capacity_factor != 1.0
+            or self.duplicate
+            or self.allow_reorder
+        )
+
+
+class _GilbertElliottState:
+    """Lazily advanced two-state chain for one :class:`GilbertElliottLoss`."""
+
+    __slots__ = ("spec", "_stream", "bad", "_next_transition")
+
+    def __init__(self, spec: GilbertElliottLoss, rng: RandomStreams, name: str):
+        self.spec = spec
+        self._stream = rng.stream(name)
+        self.bad = False
+        self._next_transition: Optional[float] = None
+
+    def apply(self, now: float, effect: FaultEffect) -> None:
+        spec = self.spec
+        if not (spec.start <= now < spec.start + spec.duration):
+            return
+        if self._next_transition is None:
+            self._next_transition = spec.start + self._stream.expovariate(
+                1.0 / spec.mean_good
+            )
+        while self._next_transition <= now:
+            self.bad = not self.bad
+            mean = spec.mean_bad if self.bad else spec.mean_good
+            self._next_transition += self._stream.expovariate(1.0 / mean)
+        loss = spec.bad_loss if self.bad else spec.good_loss
+        if loss > 0.0 and self._stream.random() < loss:
+            effect.drop = True
+            effect.reason = effect.reason or "loss_burst"
+
+
+class _WindowState:
+    """Shared machinery for the purely window-gated impairments."""
+
+    __slots__ = ("spec", "_stream")
+
+    def __init__(self, spec, rng: Optional[RandomStreams], name: Optional[str]):
+        self.spec = spec
+        self._stream = rng.stream(name) if rng is not None else None
+
+    def _active(self, now: float) -> bool:
+        return self.spec.start <= now < self.spec.start + self.spec.duration
+
+
+class _OutageState(_WindowState):
+    def apply(self, now: float, effect: FaultEffect) -> None:
+        if self._active(now):
+            effect.drop = True
+            effect.reason = effect.reason or "outage"
+
+
+class _BandwidthDipState(_WindowState):
+    def apply(self, now: float, effect: FaultEffect) -> None:
+        if self._active(now):
+            effect.capacity_factor *= self.spec.factor
+
+
+class _DelaySpikeState(_WindowState):
+    def apply(self, now: float, effect: FaultEffect) -> None:
+        if not self._active(now):
+            return
+        extra = self.spec.delay
+        if self.spec.jitter > 0.0:
+            extra += self._stream.uniform(0.0, self.spec.jitter)
+        effect.extra_delay += extra
+
+
+class _DuplicationState(_WindowState):
+    def apply(self, now: float, effect: FaultEffect) -> None:
+        if self._active(now) and self._stream.random() < self.spec.probability:
+            effect.duplicate = True
+
+
+class _ReorderState(_WindowState):
+    def apply(self, now: float, effect: FaultEffect) -> None:
+        if self._active(now) and self._stream.random() < self.spec.probability:
+            effect.extra_delay += self._stream.uniform(0.0, self.spec.max_delay)
+            effect.allow_reorder = True
+
+
+_STATE_TYPES = {
+    GilbertElliottLoss: _GilbertElliottState,
+    Outage: _OutageState,
+    BandwidthDip: _BandwidthDipState,
+    DelaySpike: _DelaySpikeState,
+    Duplication: _DuplicationState,
+    ReorderWindow: _ReorderState,
+}
+
+#: Impairment kinds that never draw randomness.
+_DETERMINISTIC = (Outage, BandwidthDip)
+
+
+class FaultInjector:
+    """A bound, stateful realization of one :class:`FaultSchedule`.
+
+    One injector serves one packet path (one link direction, or one
+    middlebox direction); its rng substreams are scoped by the ``name``
+    it was bound with, so realizations on different paths are
+    independent but individually reproducible.
+    """
+
+    def __init__(
+        self, schedule: FaultSchedule, rng: RandomStreams, name: str
+    ) -> None:
+        self.schedule = schedule
+        self.name = name
+        self._states: List[object] = []
+        for index, spec in enumerate(schedule.impairments):
+            state_type = _STATE_TYPES.get(type(spec))
+            if state_type is None:
+                raise TypeError(f"unknown impairment {spec!r}")
+            stream_name = f"{name}.fault{index}"
+            if state_type is _GilbertElliottState:
+                self._states.append(state_type(spec, rng, stream_name))
+            elif isinstance(spec, _DETERMINISTIC):
+                self._states.append(state_type(spec, None, None))
+            else:
+                self._states.append(state_type(spec, rng, stream_name))
+        self.drops = 0
+        self.duplicates = 0
+
+    def effect(self, now: float) -> FaultEffect:
+        """Evaluate every impairment against one packet at ``now``."""
+        effect = FaultEffect()
+        for state in self._states:
+            state.apply(now, effect)
+        if effect.drop:
+            self.drops += 1
+        elif effect.duplicate:
+            self.duplicates += 1
+        return effect
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector({self.name!r}, {len(self._states)} impairments, "
+            f"drops={self.drops})"
+        )

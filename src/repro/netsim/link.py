@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.netsim.faults import FaultEffect, FaultInjector, FaultSchedule
 from repro.netsim.packet import Packet
 from repro.simkernel.randomstream import RandomStreams
 from repro.simkernel.simulator import Simulator
@@ -74,7 +75,10 @@ class LinkEnd:
 class _DirectionState:
     """Per-direction serialization state."""
 
-    __slots__ = ("busy_until", "last_arrival", "queued", "sent", "dropped")
+    __slots__ = (
+        "busy_until", "last_arrival", "queued", "sent", "dropped",
+        "fault_dropped", "duplicated",
+    )
 
     def __init__(self) -> None:
         self.busy_until = 0.0
@@ -82,6 +86,8 @@ class _DirectionState:
         self.queued = 0
         self.sent = 0
         self.dropped = 0
+        self.fault_dropped = 0
+        self.duplicated = 0
 
 
 class Link:
@@ -95,7 +101,17 @@ class Link:
         trace: Optional[TraceLog] = None,
         name: str = "link",
         reorder_allowed: bool = False,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
+        if config.loss_rate > 0 and rng is None:
+            raise ValueError(
+                f"link {name!r}: loss_rate={config.loss_rate} requires an "
+                "rng — without one the link would silently never drop"
+            )
+        if faults and rng is None:
+            raise ValueError(
+                f"link {name!r}: a FaultSchedule requires an rng"
+            )
         self._sim = sim
         self.config = config
         self._rng = rng
@@ -105,6 +121,15 @@ class Link:
         self.a = LinkEnd(self, 0)
         self.b = LinkEnd(self, 1)
         self._directions = (_DirectionState(), _DirectionState())
+        # Chaos layer: one independent fault realization per direction
+        # (see repro.netsim.faults).  None ⇒ the packet path is exactly
+        # the pre-fault-layer code path.
+        self._fault_injectors: Optional[tuple] = None
+        if faults:
+            self._fault_injectors = (
+                faults.bind(rng, f"{name}.faults.ab"),
+                faults.bind(rng, f"{name}.faults.ba"),
+            )
         # Hoisted per-packet constants: dividing by a precomputed
         # bytes-per-second value is bit-identical to transmission_delay()
         # (which computes size / (bps / 8.0) on every call).
@@ -127,10 +152,27 @@ class Link:
         now = self._sim.now
         busy_until = direction.busy_until
 
+        # Chaos layer: consult the direction's fault injector before the
+        # intrinsic loss/queue model (an outage beats a clean queue).
+        effect: Optional[FaultEffect] = None
+        if self._fault_injectors is not None:
+            effect = self._fault_injectors[from_index].effect(now)
+            if effect.drop:
+                direction.dropped += 1
+                direction.fault_dropped += 1
+                self._record(
+                    "link.drop.fault", packet, from_index, fault=effect.reason
+                )
+                return
+            if not effect.any:
+                effect = None
+
         # Transmit-buffer occupancy model: packets whose serialization
         # has not started yet count against the queue capacity.
         backlog_time = busy_until - now
         serialization = packet.wire_size / self._bytes_per_second
+        if effect is not None and effect.capacity_factor != 1.0:
+            serialization /= effect.capacity_factor
         backlog_packets = (
             int(backlog_time / serialization)
             if backlog_time > 0.0 and serialization > 0
@@ -150,13 +192,30 @@ class Link:
         busy_until = start + serialization
         direction.busy_until = busy_until
         arrival = busy_until + self.config.propagation_delay + self._jitter_draw()
-        if not self.reorder_allowed and arrival < direction.last_arrival:
+        allow_reorder = self.reorder_allowed
+        if effect is not None:
+            arrival += effect.extra_delay
+            allow_reorder = allow_reorder or effect.allow_reorder
+        if not allow_reorder and arrival < direction.last_arrival:
             arrival = direction.last_arrival
-        direction.last_arrival = arrival
+        if arrival > direction.last_arrival:
+            direction.last_arrival = arrival
         direction.sent += 1
 
         to_end = self.b if from_index == 0 else self.a
         self._sim.schedule_at(arrival, lambda: self._deliver(to_end, packet))
+        if effect is not None and effect.duplicate:
+            # A duplicated packet follows its original back-to-back.
+            dup_arrival = arrival + serialization
+            if not allow_reorder and dup_arrival < direction.last_arrival:
+                dup_arrival = direction.last_arrival
+            if dup_arrival > direction.last_arrival:
+                direction.last_arrival = dup_arrival
+            direction.duplicated += 1
+            self._sim.schedule_at(
+                dup_arrival, lambda: self._deliver(to_end, packet)
+            )
+            self._record("link.dup", packet, from_index, arrival=dup_arrival)
         trace = self._trace
         if trace is not None:
             trace.record(
@@ -194,8 +253,16 @@ class Link:
         return {
             "sent": direction.sent,
             "dropped": direction.dropped,
+            "fault_dropped": direction.fault_dropped,
+            "duplicated": direction.duplicated,
             "busy_until": direction.busy_until,
         }
+
+    def fault_injector(self, from_index: int) -> Optional[FaultInjector]:
+        """The bound chaos-layer injector for one direction, if any."""
+        if self._fault_injectors is None:
+            return None
+        return self._fault_injectors[from_index]
 
     def __repr__(self) -> str:
         return f"Link({self.name!r}, {self.config.bandwidth_bps / MBPS:.0f} Mbps)"

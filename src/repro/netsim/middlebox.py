@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol
 
 from repro.netsim.capture import CaptureLog, Direction, PacketRecord
+from repro.netsim.faults import FaultInjector
 from repro.netsim.link import LinkEnd
 from repro.netsim.packet import Packet
 from repro.netsim.queue import TokenBucket
@@ -105,8 +106,15 @@ class Middlebox:
             Direction.CLIENT_TO_SERVER: None,
             Direction.SERVER_TO_CLIENT: None,
         }
+        # Chaos layer (repro.netsim.faults): environmental impairments
+        # evaluated before the adversary's filter pipeline.
+        self._faults: Dict[Direction, Optional[FaultInjector]] = {
+            Direction.CLIENT_TO_SERVER: None,
+            Direction.SERVER_TO_CLIENT: None,
+        }
         self.forwarded = 0
         self.dropped = 0
+        self.fault_dropped = 0
 
     # Wiring -------------------------------------------------------------
 
@@ -136,6 +144,17 @@ class Middlebox:
         for current in directions:
             self._filters[current].clear()
 
+    def install_faults(
+        self, direction: Direction, injector: Optional[FaultInjector]
+    ) -> None:
+        """Bind (or clear, with None) a chaos-layer fault injector.
+
+        Faults act before the filter pipeline — an environmental drop
+        happens whether or not the adversary wanted the packet — and
+        support effects a :class:`Verdict` cannot express (duplication).
+        """
+        self._faults[direction] = injector
+
     def set_bandwidth_limit(
         self, rate_bits_per_second: Optional[float], burst_bytes: int = 64 * 1024
     ) -> None:
@@ -153,6 +172,27 @@ class Middlebox:
 
     def _ingress(self, packet: Packet, direction: Direction) -> None:
         now = self._sim.now
+        fault = None
+        injector = self._faults[direction]
+        if injector is not None:
+            fault = injector.effect(now)
+            if fault.drop:
+                # The tap records the packet (it did reach the box) but
+                # flags it undelivered, like an adversary drop.
+                self.capture.append(
+                    PacketRecord.from_packet(
+                        now, direction, packet, dropped=True
+                    )
+                )
+                self.dropped += 1
+                self.fault_dropped += 1
+                self._record(
+                    "middlebox.drop.fault", packet, direction,
+                    fault=fault.reason,
+                )
+                return
+            if not fault.any:
+                fault = None
         verdict = self._evaluate_filters(packet, direction, now)
         dropped = verdict.action is PacketAction.DROP
         self.capture.append(
@@ -163,6 +203,8 @@ class Middlebox:
             self._record("middlebox.drop", packet, direction)
             return
         release_delay = verdict.delay if verdict.action is PacketAction.DELAY else 0.0
+        if fault is not None:
+            release_delay += fault.extra_delay
         release_time = now + release_delay
         bucket = self._throttle[direction]
         if bucket is not None:
@@ -172,6 +214,11 @@ class Middlebox:
         self._sim.schedule_at(
             release_time, lambda: self._forward(packet, direction)
         )
+        if fault is not None and fault.duplicate:
+            self._sim.schedule_at(
+                release_time, lambda: self._forward(packet, direction)
+            )
+            self._record("middlebox.dup", packet, direction)
         if release_delay > 0:
             self._record(
                 "middlebox.delay", packet, direction, delay=release_delay

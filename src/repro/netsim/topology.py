@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.netsim.faults import FaultSchedule
 from repro.netsim.link import Link, LinkConfig
 from repro.netsim.middlebox import Middlebox
 from repro.netsim.node import Host
@@ -39,6 +40,8 @@ def build_adversary_path(
     client_link_config: Optional[LinkConfig] = None,
     server_link_config: Optional[LinkConfig] = None,
     trace: Optional[TraceLog] = None,
+    client_faults: Optional[FaultSchedule] = None,
+    server_faults: Optional[FaultSchedule] = None,
 ) -> PathTopology:
     """Build the canonical testbed topology.
 
@@ -48,6 +51,8 @@ def build_adversary_path(
         client_link_config: client↔gateway link parameters (LAN defaults).
         server_link_config: gateway↔server link parameters (WAN defaults).
         trace: shared trace log, or None to create one.
+        client_faults: chaos-layer schedule for the client↔gateway link.
+        server_faults: chaos-layer schedule for the gateway↔server link.
 
     Returns:
         A fully wired :class:`PathTopology`; the client and server hosts
@@ -72,8 +77,10 @@ def build_adversary_path(
     server = Host(sim, "server", trace=trace)
     middlebox = Middlebox(sim, "gateway", trace=trace)
 
-    client_link = Link(sim, client_link_config, rng=rng, trace=trace, name="client-link")
-    server_link = Link(sim, server_link_config, rng=rng, trace=trace, name="server-link")
+    client_link = Link(sim, client_link_config, rng=rng, trace=trace,
+                       name="client-link", faults=client_faults)
+    server_link = Link(sim, server_link_config, rng=rng, trace=trace,
+                       name="server-link", faults=server_faults)
 
     client.attach_link(client_link.a)
     middlebox.attach_client_side(client_link.b)

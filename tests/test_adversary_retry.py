@@ -1,0 +1,242 @@
+"""Tests for the adversary's adaptive drop-phase recovery.
+
+The retry/backoff state machine (repro.core.adversary): after each drop
+window the adversary checks its own capture for the client's reaction —
+new GETs after the window opened.  No reaction => retry with exponential
+backoff; budget exhausted => ABORTED.  ``max_drop_retries=0`` disables
+the machinery entirely (the pre-fault-tolerance behaviour).
+"""
+
+import pytest
+
+from repro.core.adversary import Adversary, AdversaryConfig, AttackPhase
+from repro.netsim.capture import CaptureLog, Direction, PacketRecord
+from repro.netsim.faults import FaultSchedule, Outage
+
+
+class _StubDropFilter:
+    def __init__(self):
+        self.deactivated = False
+
+    def deactivate(self):
+        self.deactivated = True
+
+
+class _StubMiddlebox:
+    def __init__(self):
+        self.capture = CaptureLog()
+
+
+class _StubController:
+    """Records the adversary's actuations; owns a real capture log."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.middlebox = _StubMiddlebox()
+        self.drop_filter = None
+        self.spacing_installed = []
+        self.jitter_installed = []
+        self.bandwidth_limits = []
+        self.drop_windows = []
+        self.trigger_callback = None
+
+    def install_spacing(self, spacing, noise_fraction=0.5):
+        self.spacing_installed.append(spacing)
+
+    def install_jitter(self, amount):
+        self.jitter_installed.append(amount)
+
+    def limit_bandwidth(self, limit, burst_bytes=64 * 1024):
+        self.bandwidth_limits.append(limit)
+
+    def install_drops(self, rate):
+        self.drop_filter = _StubDropFilter()
+
+    def start_drops(self, duration):
+        self.drop_windows.append((self.sim.now, duration))
+
+    def on_nth_get(self, index, callback):
+        self.trigger_callback = callback
+
+
+def _get_record(time, seq, payload=60):
+    """A synthetic client->server GET as the capture tap records it."""
+    return PacketRecord(
+        time=time,
+        direction=Direction.CLIENT_TO_SERVER,
+        packet_id=0,
+        wire_size=payload + 40,
+        payload_bytes=payload,
+        flags=("ACK",),
+        seq=seq,
+        ack=0,
+        tls_content_types=(23,),
+    )
+
+
+def _armed_adversary(sim, trace=None, **config_overrides):
+    config_overrides.setdefault("drop_duration", 0.5)
+    config_overrides.setdefault("retry_backoff", 0.5)
+    config_overrides.setdefault("retry_backoff_factor", 2.0)
+    config = AdversaryConfig(**config_overrides)
+    controller = _StubController(sim)
+    adversary = Adversary(controller, config, trace=trace)
+    adversary.arm()
+    # The monitor skips the first PREFACE_FLIGHT_BYTES of client
+    # application data; seed the capture with a preface-sized record so
+    # later synthetic GETs count.
+    controller.middlebox.capture.append(_get_record(0.0, seq=0, payload=120))
+    return adversary, controller
+
+
+def _append_gets(controller, time, count=2, base_seq=1000):
+    for offset in range(count):
+        controller.middlebox.capture.append(
+            _get_record(time + offset * 0.01, seq=base_seq + offset * 100)
+        )
+
+
+def test_retries_disabled_escalates_unconditionally(sim):
+    adversary, controller = _armed_adversary(sim, max_drop_retries=0)
+    controller.trigger_callback(sim.now)
+    sim.run()
+    # Empty capture (no client reaction at all), yet the pre-fault
+    # behaviour never checks: the attack escalates right after the window.
+    assert adversary.phase is AttackPhase.ESCALATED
+    assert adversary.retries_used == 0
+    assert not adversary.aborted
+    assert len(controller.drop_windows) == 1
+    assert adversary.escalation_time == pytest.approx(0.5)
+
+
+def test_no_retry_when_first_window_succeeds(sim):
+    adversary, controller = _armed_adversary(sim, max_drop_retries=2)
+    controller.trigger_callback(sim.now)
+    # Client visibly re-requests inside the first window.
+    sim.schedule_at(0.2, lambda: _append_gets(controller, 0.2))
+    sim.run()
+    assert adversary.phase is AttackPhase.ESCALATED
+    assert adversary.retries_used == 0
+    assert len(controller.drop_windows) == 1
+
+
+def test_success_after_one_retry(sim, trace):
+    adversary, controller = _armed_adversary(
+        sim, trace=trace, max_drop_retries=2
+    )
+    controller.trigger_callback(sim.now)
+    # Nothing during window 1 (0 -> 0.5); retry opens at 1.0 after the
+    # 0.5 s backoff.  The client reacts during window 2.
+    sim.schedule_at(1.2, lambda: _append_gets(controller, 1.2))
+    sim.run()
+    assert adversary.phase is AttackPhase.ESCALATED
+    assert adversary.retries_used == 1
+    assert not adversary.aborted
+    assert [start for start, _ in controller.drop_windows] == [
+        pytest.approx(0.0), pytest.approx(1.0)
+    ]
+    assert trace.count(category="attack.retry_scheduled") == 1
+    assert trace.count(category="attack.retry") == 1
+    assert trace.count(category="attack.aborted") == 0
+
+
+def test_budget_exhaustion_aborts(sim, trace):
+    adversary, controller = _armed_adversary(
+        sim, trace=trace, max_drop_retries=2
+    )
+    controller.trigger_callback(sim.now)
+    sim.run()
+    # Windows: 0->0.5, retry@1.0->1.5 (backoff 0.5), retry@2.5->3.0
+    # (backoff 1.0); still nothing => abort at 3.0.
+    assert adversary.phase is AttackPhase.ABORTED
+    assert adversary.aborted
+    assert adversary.retries_used == 2
+    assert adversary.abort_time == pytest.approx(3.0)
+    assert [start for start, _ in controller.drop_windows] == [
+        pytest.approx(0.0), pytest.approx(1.0), pytest.approx(2.5)
+    ]
+    assert controller.drop_filter.deactivated
+    assert adversary.escalation_time is None
+    assert trace.count(category="attack.aborted") == 1
+
+
+def test_backoff_grows_exponentially(sim):
+    adversary, controller = _armed_adversary(
+        sim, max_drop_retries=3, retry_backoff=0.25, retry_backoff_factor=3.0
+    )
+    controller.trigger_callback(sim.now)
+    sim.run()
+    starts = [start for start, _ in controller.drop_windows]
+    # window ends at 0.5; backoffs 0.25, 0.75, 2.25 between windows.
+    assert starts == [
+        pytest.approx(0.0),
+        pytest.approx(0.75),
+        pytest.approx(2.0),
+        pytest.approx(4.75),
+    ]
+    assert adversary.aborted
+
+
+def test_stale_gets_do_not_count_as_reaction(sim):
+    adversary, controller = _armed_adversary(sim, max_drop_retries=1)
+    # GETs observed *before* the window opened (the original request
+    # burst) must not satisfy the success check.
+    _append_gets(controller, time=-0.1, count=5)
+    controller.trigger_callback(sim.now)
+    sim.run()
+    assert adversary.aborted
+    assert adversary.retries_used == 1
+
+
+def test_min_gets_threshold_respected(sim):
+    adversary, controller = _armed_adversary(
+        sim, max_drop_retries=1, retry_success_min_gets=3
+    )
+    controller.trigger_callback(sim.now)
+    # Two fresh GETs < threshold of 3: not a success, budget exhausts.
+    sim.schedule_at(0.2, lambda: _append_gets(controller, 0.2, count=2))
+    sim.run()
+    assert adversary.aborted
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AdversaryConfig(max_drop_retries=-1)
+    with pytest.raises(ValueError):
+        AdversaryConfig(retry_backoff=-0.5)
+    with pytest.raises(ValueError):
+        AdversaryConfig(retry_backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        AdversaryConfig(retry_success_min_gets=0)
+
+
+def test_defaults_leave_recovery_disabled():
+    config = AdversaryConfig()
+    assert config.max_drop_retries == 0
+
+
+# ---------------------------------------------------------------------------
+# End to end: a client-side outage across the drop window => ABORTED
+# ---------------------------------------------------------------------------
+
+def test_outage_through_drop_window_aborts_end_to_end():
+    from repro.experiments.harness import TrialConfig, summarize_trial
+    from repro.web.workload import VolunteerWorkload
+
+    workload = VolunteerWorkload(seed=7)
+    summary = summarize_trial(
+        0,
+        workload,
+        TrialConfig(
+            adversary=AdversaryConfig(max_drop_retries=2, retry_backoff=0.5),
+            # The client link goes dark just after the trigger (~1.1 s)
+            # and stays dark past every retry: no reaction is possible.
+            faults=FaultSchedule((Outage(1.2, 30.0),)),
+            fault_location="client",
+            horizon=25.0,
+        ),
+    )
+    assert summary.attack_aborted
+    assert summary.attack_phase == AttackPhase.ABORTED.value
+    assert summary.attack_retries == 2
+    assert summary.analysis.attack_aborted

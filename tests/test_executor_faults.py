@@ -1,0 +1,308 @@
+"""Tests for the executor's fault tolerance.
+
+Covers the indexed wrapping of worker exceptions (every failure names
+its trial), the retry/timeout/crash-isolation semantics of supervised
+dispatch, and checkpoint/resume.  All tasks are module-level dataclasses
+so they pickle across the spawn boundary.
+"""
+
+import json
+import os
+import pickle
+import signal
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.executor import (
+    Checkpoint,
+    FaultTolerance,
+    TrialError,
+    TrialExecutionError,
+    TrialExecutor,
+    map_trials,
+)
+from repro.simkernel.randomstream import RandomStreams
+
+
+def _square(index):
+    return index * index
+
+
+def _seeded_draw(index):
+    """A deterministic per-index result: what a seeded trial computes."""
+    return RandomStreams(index).stream("task").random()
+
+
+@dataclass(frozen=True)
+class _Offset:
+    base: int
+
+    def __call__(self, index: int) -> int:
+        return self.base + index
+
+
+@dataclass(frozen=True)
+class _FailOn:
+    """Raises every time for one index."""
+
+    bad: int
+
+    def __call__(self, index: int) -> int:
+        if index == self.bad:
+            raise ValueError(f"boom at {index}")
+        return index * index
+
+
+@dataclass(frozen=True)
+class _FailOnce:
+    """Raises on the first attempt for one index (marker on disk)."""
+
+    marker_dir: str
+    bad: int
+
+    def __call__(self, index: int) -> int:
+        if index == self.bad:
+            marker = os.path.join(self.marker_dir, f"failed-{index}")
+            if not os.path.exists(marker):
+                with open(marker, "w"):
+                    pass
+                raise ValueError("first attempt fails")
+        return index * index
+
+
+@dataclass(frozen=True)
+class _CrashOnce:
+    """SIGKILLs its own worker on the first attempt for one index.
+
+    Only meaningful on the supervised process backend — a serial run
+    would kill the test process.
+    """
+
+    marker_dir: str
+    bad: int
+
+    def __call__(self, index: int) -> float:
+        if index == self.bad:
+            marker = os.path.join(self.marker_dir, f"crashed-{index}")
+            if not os.path.exists(marker):
+                with open(marker, "w"):
+                    pass
+                os.kill(os.getpid(), signal.SIGKILL)
+        return _seeded_draw(index)
+
+
+@dataclass(frozen=True)
+class _CrashAlways:
+    bad: int
+
+    def __call__(self, index: int) -> int:
+        if index == self.bad:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return index * index
+
+
+@dataclass(frozen=True)
+class _Hang:
+    bad: int
+
+    def __call__(self, index: int) -> int:
+        if index == self.bad:
+            time.sleep(60)
+        return index * index
+
+
+# ---------------------------------------------------------------------------
+# Satellite: worker exceptions carry the failing trial index
+# ---------------------------------------------------------------------------
+
+def test_serial_exception_carries_trial_index():
+    with pytest.raises(TrialExecutionError) as excinfo:
+        map_trials(5, _FailOn(bad=3))
+    assert excinfo.value.trial == 3
+    assert "ValueError" in excinfo.value.details
+    assert "trial 3" in str(excinfo.value)
+
+
+def test_process_exception_carries_trial_index():
+    executor = TrialExecutor(workers=2)
+    with pytest.raises(TrialExecutionError) as excinfo:
+        executor.map_trials(5, _FailOn(bad=3))
+    assert excinfo.value.trial == 3
+    assert "ValueError" in excinfo.value.details
+
+
+def test_trial_execution_error_pickles():
+    error = TrialExecutionError(7, "ValueError: boom")
+    clone = pickle.loads(pickle.dumps(error))
+    assert clone.trial == 7
+    assert clone.details == "ValueError: boom"
+    assert str(clone) == str(error)
+
+
+# ---------------------------------------------------------------------------
+# FaultTolerance policy
+# ---------------------------------------------------------------------------
+
+def test_fault_tolerance_validation():
+    with pytest.raises(ValueError):
+        FaultTolerance(timeout=0)
+    with pytest.raises(ValueError):
+        FaultTolerance(retries=-1)
+    with pytest.raises(ValueError):
+        FaultTolerance(checkpoint_every=0)
+
+
+def test_trial_error_to_json():
+    error = TrialError(trial=4, attempts=2, error="ValueError: x",
+                       traceback="tb")
+    assert error.to_json() == {
+        "trial": 4, "attempts": 2, "error": "ValueError: x",
+        "traceback": "tb",
+    }
+
+
+def test_fault_tolerant_matches_plain_map():
+    plain = map_trials(6, _square)
+    tolerant = map_trials(6, _square, fault_tolerance=FaultTolerance())
+    assert tolerant == plain
+
+
+# ---------------------------------------------------------------------------
+# Serial fallback: retries and error records, no preemption
+# ---------------------------------------------------------------------------
+
+def test_serial_retry_recovers_transient_failure(tmp_path):
+    task = _FailOnce(marker_dir=str(tmp_path), bad=2)
+    results = map_trials(4, task, fault_tolerance=FaultTolerance(retries=1))
+    assert results == [0, 1, 4, 9]
+
+
+def test_serial_exhausted_retries_yield_error_record(tmp_path):
+    results = map_trials(
+        4, _FailOn(bad=2), fault_tolerance=FaultTolerance(retries=1)
+    )
+    assert results[0] == 0 and results[1] == 1 and results[3] == 9
+    error = results[2]
+    assert isinstance(error, TrialError)
+    assert error.trial == 2
+    assert error.attempts == 2
+    assert "ValueError" in error.error
+    assert "boom at 2" in error.traceback
+
+
+# ---------------------------------------------------------------------------
+# Supervised dispatch: crash isolation, same-seed retry, timeout
+# ---------------------------------------------------------------------------
+
+def test_supervised_retry_reproduces_crashed_trial(tmp_path):
+    """Property: a same-seed retry computes what the lost worker would
+    have — the final results match an uncrashed run exactly."""
+    task = _CrashOnce(marker_dir=str(tmp_path), bad=1)
+    executor = TrialExecutor(workers=2)
+    results = executor.map_trials(
+        4, task, fault_tolerance=FaultTolerance(retries=1)
+    )
+    assert results == [_seeded_draw(index) for index in range(4)]
+    assert os.path.exists(os.path.join(str(tmp_path), "crashed-1"))
+
+
+def test_supervised_crash_without_budget_yields_error():
+    executor = TrialExecutor(workers=2)
+    results = executor.map_trials(
+        [0, 1, 2], _CrashAlways(bad=1),
+        fault_tolerance=FaultTolerance(retries=0),
+    )
+    assert results[0] == 0 and results[2] == 4
+    error = results[1]
+    assert isinstance(error, TrialError)
+    assert error.trial == 1
+    assert "crashed" in error.error
+    assert "-9" in error.error  # SIGKILL exit code
+
+
+def test_supervised_timeout_kills_hung_trial():
+    executor = TrialExecutor(workers=2)
+    start = time.monotonic()
+    results = executor.map_trials(
+        [0, 1], _Hang(bad=1),
+        fault_tolerance=FaultTolerance(timeout=1.0, retries=0),
+    )
+    assert time.monotonic() - start < 30  # nowhere near the 60 s sleep
+    assert results[0] == 0
+    error = results[1]
+    assert isinstance(error, TrialError)
+    assert "timeout" in error.error
+
+
+def test_supervised_preserves_order():
+    executor = TrialExecutor(workers=2)
+    results = executor.map_trials(
+        6, _square, fault_tolerance=FaultTolerance()
+    )
+    assert results == [index * index for index in range(6)]
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / resume
+# ---------------------------------------------------------------------------
+
+def test_checkpoint_resume_skips_completed_trials(tmp_path):
+    path = str(tmp_path / "checkpoint.json")
+    first = map_trials(
+        4, _FailOn(bad=2),
+        fault_tolerance=FaultTolerance(retries=0, checkpoint_path=path),
+    )
+    assert isinstance(first[2], TrialError)
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["version"] == 1
+    assert sorted(payload["results"]) == ["0", "1", "3"]  # no error persisted
+
+    # Resume with a task returning *different* values: completed trials
+    # come from the checkpoint, only the failed one is recomputed.
+    second = map_trials(
+        4, _Offset(base=100),
+        fault_tolerance=FaultTolerance(retries=0, checkpoint_path=path),
+    )
+    assert second == [0, 1, 102, 9]
+
+
+def test_checkpoint_rejects_unknown_version(tmp_path):
+    path = tmp_path / "checkpoint.json"
+    path.write_text('{"version": 99, "results": {}}')
+    with pytest.raises(ValueError, match="version"):
+        Checkpoint(str(path))
+
+
+def test_checkpoint_records_and_flushes_atomically(tmp_path):
+    path = str(tmp_path / "checkpoint.json")
+    checkpoint = Checkpoint(path)
+    checkpoint.record(3, {"value": 1}, flush_every=1)
+    reloaded = Checkpoint(path)
+    assert 3 in reloaded
+    assert reloaded.results[3] == {"value": 1}
+    assert len(reloaded) == 1
+    leftovers = [
+        name for name in os.listdir(str(tmp_path))
+        if name.startswith(".checkpoint-")
+    ]
+    assert leftovers == []  # temp file replaced, not left behind
+
+
+def test_checkpoint_resume_is_deterministic_end_to_end(tmp_path):
+    """Interrupted-and-resumed output equals the uninterrupted one."""
+    uninterrupted = map_trials(
+        5, _square, fault_tolerance=FaultTolerance()
+    )
+    path = str(tmp_path / "checkpoint.json")
+    # Simulate an interrupted run: only trials 0-2 completed.
+    partial = Checkpoint(path)
+    for index in range(3):
+        partial.record(index, _square(index))
+    resumed = map_trials(
+        5, _square,
+        fault_tolerance=FaultTolerance(checkpoint_path=path),
+    )
+    assert resumed == uninterrupted
