@@ -38,9 +38,10 @@ def _build_parser() -> argparse.ArgumentParser:
             "baseline", "table1", "table2", "fig1", "fig5", "fig6",
             "delay", "ablations", "attack", "trigger", "streaming",
             "partialmux", "generalization", "fingerprint", "scorecard",
-            "profile", "robustness-study",
+            "profile", "robustness-study", "verify",
         ],
-        help="which paper experiment to run",
+        help="which paper experiment to run (or `verify` for the "
+             "conformance & golden-master harness)",
     )
     parser.add_argument(
         "--trials", type=int, default=25,
@@ -50,7 +51,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=7, help="workload master seed"
     )
     parser.add_argument(
-        "--trial", type=int, default=0,
+        "--trial", type=int, default=None,
         help="volunteer index (attack experiment only)",
     )
     parser.add_argument(
@@ -67,7 +68,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     robustness.add_argument(
         "--quick", action="store_true",
-        help="reduced sweep (3 intensity levels, 3 trials each) for CI",
+        help="reduced run for CI: robustness-study sweeps 3 intensity "
+             "levels with 3 trials each; verify runs the conformance "
+             "vectors, a 3-experiment golden subset and one "
+             "determinism-matrix cell",
     )
     robustness.add_argument(
         "--levels", type=str, default=None,
@@ -85,12 +89,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the study result as JSON to this path",
     )
     robustness.add_argument(
-        "--trial-timeout", type=float, default=300.0,
+        "--trial-timeout", type=float, default=None,
         help="per-trial wall-clock budget in seconds (default 300)",
     )
     robustness.add_argument(
-        "--trial-retries", type=int, default=1,
+        "--trial-retries", type=int, default=None,
         help="same-seed retries per crashed/hung/failed trial (default 1)",
+    )
+    verify = parser.add_argument_group(
+        "verify options",
+        "conformance vectors, golden masters and the determinism matrix",
+    )
+    verify.add_argument(
+        "--update-golden", action="store_true",
+        help="regenerate src/repro/conform/golden.json from the current "
+             "tree instead of comparing against it",
+    )
+    verify.add_argument(
+        "--only", type=str, default=None, metavar="NAMES",
+        help="comma-separated golden experiment names to restrict the "
+             "golden/matrix layers to",
+    )
+    verify.add_argument(
+        "--fuzz-examples", type=int, default=200,
+        help="deterministic round-trip fuzz examples per suite "
+             "(default 200)",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -103,10 +126,56 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_args(parser: argparse.ArgumentParser, args) -> None:
+    """Reject incoherent flag/experiment combinations (exit code 2).
+
+    Scoped flags used to be silently ignored outside their experiment —
+    a ``--trial 3`` typo on ``table1`` ran 25 ordinary trials without a
+    word.  Now every scoped flag names the experiment it needs.
+    """
+    if args.trial is not None and args.experiment != "attack":
+        parser.error(
+            f"--trial only applies to the attack experiment "
+            f"(got experiment {args.experiment!r})"
+        )
+    robustness_only = (
+        ("--levels", args.levels is not None),
+        ("--checkpoint", args.checkpoint is not None),
+        ("--json", args.json_out is not None),
+        ("--trial-timeout", args.trial_timeout is not None),
+        ("--trial-retries", args.trial_retries is not None),
+    )
+    for flag, given in robustness_only:
+        if given and args.experiment != "robustness-study":
+            parser.error(
+                f"{flag} only applies to the robustness-study experiment "
+                f"(got experiment {args.experiment!r})"
+            )
+    if args.quick and args.experiment not in ("robustness-study", "verify"):
+        parser.error(
+            f"--quick only applies to robustness-study and verify "
+            f"(got experiment {args.experiment!r})"
+        )
+    verify_only = (
+        ("--update-golden", args.update_golden),
+        ("--only", args.only is not None),
+    )
+    for flag, given in verify_only:
+        if given and args.experiment != "verify":
+            parser.error(
+                f"{flag} only applies to verify "
+                f"(got experiment {args.experiment!r})"
+            )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    _validate_args(parser, args)
+
+    if args.experiment == "verify":
+        return _run_verify(args)
 
     from repro.experiments.executor import resolve_workers
     try:
@@ -210,7 +279,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         _, report = profile_reference(seed=args.seed)
         print(report)
     elif args.experiment == "attack":
-        _run_attack(args.trial, args.seed)
+        _run_attack(args.trial if args.trial is not None else 0, args.seed)
 
     if profiler is not None:
         from repro import profiling
@@ -219,6 +288,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         profiling.deactivate()
         print(profiler.render(), file=sys.stderr)
     return 0
+
+
+def _run_verify(args) -> int:
+    """``repro verify``: conformance + golden masters + determinism."""
+    from repro.conform import run_verify
+
+    only = None
+    if args.only:
+        only = [name for name in args.only.split(",") if name]
+    try:
+        report = run_verify(
+            quick=args.quick,
+            only=only,
+            update_golden=args.update_golden,
+            fuzz_examples=args.fuzz_examples,
+        )
+    except ValueError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return report.exit_code
 
 
 def _run_robustness_study(args, workers) -> int:
@@ -243,8 +333,8 @@ def _run_robustness_study(args, workers) -> int:
         intensities = robustness_study.INTENSITIES
     trials = min(args.trials, 3) if args.quick else args.trials
     fault_tolerance = FaultTolerance(
-        timeout=args.trial_timeout,
-        retries=args.trial_retries,
+        timeout=args.trial_timeout if args.trial_timeout is not None else 300.0,
+        retries=args.trial_retries if args.trial_retries is not None else 1,
         checkpoint_path=args.checkpoint,
     )
     result = robustness_study.run(

@@ -1,0 +1,69 @@
+"""Conformance & golden-master regression subsystem (``repro verify``).
+
+Three layers of mechanical checks that every perf or robustness PR must
+keep green:
+
+* :mod:`repro.conform.vectors` — protocol conformance: the RFC 7541
+  Appendix C HPACK vectors through :mod:`repro.hpack.codec` in both
+  directions, and the RFC 7540 frame wire round trip
+  (:mod:`repro.conform.frames`).
+* :mod:`repro.conform.golden` — golden masters: SHA-256 digests of the
+  rendered stdout of every experiment at the quick profile, checked in
+  as ``golden.json`` and regenerated with ``repro verify
+  --update-golden``.
+* :mod:`repro.conform.matrix` — the determinism matrix: every golden
+  experiment re-run serial vs ``--workers 4`` vs
+  checkpoint-kill-resume, asserting bit-identical stdout.
+
+:func:`run_verify` runs the requested layers and returns a
+:class:`~repro.conform.report.VerifyReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.conform.report import CheckResult, Section, VerifyReport
+
+__all__ = [
+    "CheckResult",
+    "Section",
+    "VerifyReport",
+    "run_verify",
+]
+
+
+def run_verify(
+    quick: bool = False,
+    only: Optional[Sequence[str]] = None,
+    update_golden: bool = False,
+    fuzz_examples: int = 200,
+) -> VerifyReport:
+    """Run the verification layers and return the combined report.
+
+    Args:
+        quick: CI profile — the conformance vectors, a 3-experiment
+            golden subset, and one determinism-matrix cell.
+        only: restrict golden/matrix layers to these experiment names.
+        update_golden: regenerate ``golden.json`` from the current tree
+            instead of comparing against it (golden layer only; the
+            matrix still runs against the fresh captures).
+        fuzz_examples: deterministic random round-trip examples per
+            fuzz check.
+    """
+    from repro.conform import frames as frames_checks
+    from repro.conform import golden, matrix, vectors
+
+    report = VerifyReport()
+    report.sections.append(vectors.run_checks())
+    report.sections.append(frames_checks.run_checks(examples=fuzz_examples))
+
+    names = golden.select_experiments(quick=quick, only=only)
+    captures, golden_section = golden.run_checks(
+        names, update=update_golden
+    )
+    report.sections.append(golden_section)
+    report.sections.append(
+        matrix.run_checks(names, captures, quick=quick)
+    )
+    return report

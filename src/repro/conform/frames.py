@@ -1,0 +1,290 @@
+"""HTTP/2 frame wire round-trip harness for ``repro verify``.
+
+Drives :mod:`repro.h2.wire` over a fixed corpus (one of every frame
+type with representative field values) plus a deterministic fuzz sweep
+(``random.Random(0)``), asserting for every frame ``f``:
+
+* ``len(encode_frame(f)) == f.wire_length`` — the symbolic size
+  accounting and the binary layout agree;
+* ``encode(decode(encode(f))) == encode(f)`` — byte-exact round trip;
+* ``frame_signature(decode(encode(f))) == frame_signature(f)`` — every
+  structural field survives the wire;
+
+plus an HPACK encoder/decoder pair replaying random header lists (with
+periodic table resizes) and a malformed-input sweep that must raise
+:class:`~repro.h2.wire.WireError`.
+
+The Hypothesis twins of these checks live in
+``tests/test_property_conformance.py``; this module keeps ``repro
+verify`` dependency-free and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, Tuple
+
+from repro.conform.report import Section
+from repro.h2.errors import H2ErrorCode
+from repro.h2.frames import (
+    ContinuationFrame,
+    DataFrame,
+    Frame,
+    GoAwayFrame,
+    HeadersFrame,
+    PingFrame,
+    PriorityFrame,
+    PushPromiseFrame,
+    RstStreamFrame,
+    SettingsFrame,
+    WindowUpdateFrame,
+)
+from repro.h2.wire import (
+    WireError,
+    decode_frame,
+    decode_frames,
+    encode_frame,
+    frame_signature,
+)
+from repro.hpack.codec import HeaderBlock, HpackDecoder, HpackEncoder
+from repro.hpack.table import STATIC_TABLE
+
+#: Header names the fuzzers draw from (static-table names plus customs).
+_NAMES = tuple(entry.name for entry in STATIC_TABLE) + (
+    "x-custom-key", "x-request-id", "x-quiz-step",
+)
+
+_VALUE_ALPHABET = string.ascii_letters + string.digits + " -_./:;=,"
+
+
+def fixed_corpus() -> List[Frame]:
+    """One frame of every type, fields exercised away from defaults."""
+    block = HeaderBlock((), 33)
+    return [
+        DataFrame(stream_id=5, data_bytes=1200, end_stream=True),
+        DataFrame(stream_id=7, data_bytes=64, padding=17),
+        HeadersFrame(stream_id=3, block=block, end_stream=True,
+                     end_headers=False),
+        HeadersFrame(stream_id=9, block=block, priority_weight=220,
+                     priority_depends_on=3, priority_exclusive=True),
+        HeadersFrame(stream_id=11),
+        PriorityFrame(stream_id=5, depends_on=3, weight=256, exclusive=True),
+        RstStreamFrame(stream_id=5, error_code=H2ErrorCode.CANCEL),
+        SettingsFrame(settings={0x1: 4096, 0x3: 100, 0x4: 65535}),
+        SettingsFrame(ack=True),
+        PushPromiseFrame(stream_id=3, promised_stream_id=10, block=block),
+        PingFrame(),
+        PingFrame(ack=True),
+        GoAwayFrame(last_stream_id=41,
+                    error_code=H2ErrorCode.ENHANCE_YOUR_CALM,
+                    debug_bytes=12),
+        WindowUpdateFrame(stream_id=0, increment=65535),
+        WindowUpdateFrame(stream_id=5, increment=1),
+        ContinuationFrame(stream_id=3, block_bytes=900, end_headers=True),
+    ]
+
+
+def random_header_list(rng: random.Random) -> List[Tuple[str, str]]:
+    """A plausible header list: static names, repeats, random values."""
+    headers: List[Tuple[str, str]] = []
+    for _ in range(rng.randint(1, 12)):
+        name = rng.choice(_NAMES)
+        length = rng.randint(0, 40)
+        value = "".join(rng.choice(_VALUE_ALPHABET) for _ in range(length))
+        headers.append((name, value))
+    return headers
+
+
+def random_frame(rng: random.Random) -> Frame:
+    """One random frame; every type and flag combination reachable."""
+    stream = rng.randrange(1, 1 << 31, 2)
+    kind = rng.randrange(10)
+    if kind == 0:
+        return DataFrame(
+            stream_id=stream,
+            data_bytes=rng.randint(0, 1 << 14),
+            end_stream=rng.random() < 0.5,
+            padding=rng.choice((0, 0, rng.randint(1, 255))),
+        )
+    if kind == 1:
+        block_len = rng.randint(0, 4096)
+        weight = rng.choice((None, rng.randint(1, 256)))
+        return HeadersFrame(
+            stream_id=stream,
+            block=HeaderBlock((), block_len) if block_len else None,
+            end_stream=rng.random() < 0.5,
+            end_headers=rng.random() < 0.5,
+            priority_weight=weight,
+            priority_depends_on=rng.randrange(1 << 31) if weight else 0,
+            priority_exclusive=rng.random() < 0.5 if weight else False,
+        )
+    if kind == 2:
+        return PriorityFrame(
+            stream_id=stream,
+            depends_on=rng.randrange(1 << 31),
+            weight=rng.randint(1, 256),
+            exclusive=rng.random() < 0.5,
+        )
+    if kind == 3:
+        return RstStreamFrame(
+            stream_id=stream, error_code=rng.choice(tuple(H2ErrorCode))
+        )
+    if kind == 4:
+        if rng.random() < 0.25:
+            return SettingsFrame(ack=True)
+        return SettingsFrame(settings={
+            rng.randint(1, 0xFFFF): rng.randrange(1 << 32)
+            for _ in range(rng.randint(0, 6))
+        })
+    if kind == 5:
+        block_len = rng.randint(0, 2048)
+        return PushPromiseFrame(
+            stream_id=stream,
+            promised_stream_id=rng.randrange(2, 1 << 31, 2),
+            block=HeaderBlock((), block_len) if block_len else None,
+        )
+    if kind == 6:
+        return PingFrame(ack=rng.random() < 0.5)
+    if kind == 7:
+        return GoAwayFrame(
+            last_stream_id=rng.randrange(1 << 31),
+            error_code=rng.choice(tuple(H2ErrorCode)),
+            debug_bytes=rng.randint(0, 256),
+        )
+    if kind == 8:
+        return WindowUpdateFrame(
+            stream_id=rng.choice((0, stream)),
+            increment=rng.randint(1, (1 << 31) - 1),
+        )
+    return ContinuationFrame(
+        stream_id=stream,
+        block_bytes=rng.randint(0, 4096),
+        end_headers=rng.random() < 0.5,
+    )
+
+
+def check_round_trip(frame: Frame) -> List[str]:
+    """Problems with one frame's wire round trip (empty = conformant)."""
+    problems: List[str] = []
+    encoded = encode_frame(frame)
+    if len(encoded) != frame.wire_length:
+        problems.append(
+            f"{frame!r}: encoded {len(encoded)} octets, "
+            f"wire_length says {frame.wire_length}"
+        )
+    decoded, consumed = decode_frame(encoded)
+    if consumed != len(encoded):
+        problems.append(f"{frame!r}: decode consumed {consumed} octets")
+    if frame_signature(decoded) != frame_signature(frame):
+        problems.append(
+            f"{frame!r}: signature drift {frame_signature(decoded)} != "
+            f"{frame_signature(frame)}"
+        )
+    re_encoded = encode_frame(decoded)
+    if re_encoded != encoded:
+        problems.append(f"{frame!r}: re-encode differs")
+    return problems
+
+
+#: Byte sequences :func:`decode_frame` must reject.
+MALFORMED = (
+    ("truncated header", b"\x00\x00\x04\x00"),
+    ("truncated payload", b"\x00\x00\x08\x06\x00\x00\x00\x00\x00\x01\x02"),
+    ("unknown type code",
+     b"\x00\x00\x00\x63\x00\x00\x00\x00\x01"),
+    ("reserved stream bit",
+     b"\x00\x00\x00\x00\x00\x80\x00\x00\x01"),
+    ("SETTINGS length not multiple of 6",
+     b"\x00\x00\x05\x04\x00\x00\x00\x00\x00" + b"\x00" * 5),
+    ("PRIORITY wrong payload size",
+     b"\x00\x00\x04\x02\x00\x00\x00\x00\x03" + b"\x00" * 4),
+    ("WINDOW_UPDATE zero increment",
+     b"\x00\x00\x04\x08\x00\x00\x00\x00\x01" + b"\x00" * 4),
+    ("DATA pad length exceeds payload",
+     b"\x00\x00\x03\x00\x08\x00\x00\x00\x01" + b"\xff\x00\x00"),
+    ("RST_STREAM unknown error code",
+     b"\x00\x00\x04\x03\x00\x00\x00\x00\x05" + b"\x00\x00\x00\x99"),
+)
+
+
+def run_checks(examples: int = 200) -> Section:
+    """The frame-layer conformance section of a verify run."""
+    section = Section("Frame wire round trip (RFC 7540 §4/§6)")
+
+    problems: List[str] = []
+    for frame in fixed_corpus():
+        problems.extend(check_round_trip(frame))
+    section.add("fixed corpus round trip", not problems,
+                "; ".join(problems[:3]))
+
+    rng = random.Random(0)
+    fuzz_problems: List[str] = []
+    for _ in range(examples):
+        fuzz_problems.extend(check_round_trip(random_frame(rng)))
+    section.add(
+        f"frame fuzz round trip ({examples} examples)",
+        not fuzz_problems, "; ".join(fuzz_problems[:3]),
+    )
+
+    stream_problems: List[str] = []
+    frames = [random_frame(rng) for _ in range(50)]
+    blob = b"".join(encode_frame(frame) for frame in frames)
+    decoded = decode_frames(blob)
+    if len(decoded) != len(frames):
+        stream_problems.append(
+            f"{len(decoded)} frames decoded from a {len(frames)}-frame blob"
+        )
+    elif blob != b"".join(encode_frame(frame) for frame in decoded):
+        stream_problems.append("re-encoded blob differs")
+    section.add("back-to-back frame stream", not stream_problems,
+                "; ".join(stream_problems))
+
+    hpack_problems: List[str] = []
+    encoder = HpackEncoder()
+    decoder = HpackDecoder()
+    for index in range(examples):
+        headers = random_header_list(rng)
+        block = encoder.encode(headers)
+        decoded_headers = decoder.decode(block)
+        if decoded_headers != headers:
+            hpack_problems.append(f"example {index}: decode mismatch")
+            break
+        # A symbolic block rides a HEADERS frame through the wire with
+        # its exact octet count intact.
+        frame = HeadersFrame(stream_id=1, block=block)
+        wire_frame, _ = decode_frame(encode_frame(frame))
+        wire_len = (
+            wire_frame.block.encoded_length if wire_frame.block else 0
+        )
+        if wire_len != block.encoded_length:
+            hpack_problems.append(
+                f"example {index}: block length {block.encoded_length} "
+                f"arrived as {wire_len}"
+            )
+            break
+        if index % 25 == 24:
+            # Keep the pair in sync across table-size renegotiations.
+            new_size = rng.choice((0, 256, 1024, 4096))
+            encoder.table.resize(new_size)
+            decoder.table.resize(new_size)
+    section.add(
+        f"HPACK encoder/decoder fuzz ({examples} examples)",
+        not hpack_problems, "; ".join(hpack_problems),
+    )
+
+    reject_problems: List[str] = []
+    for name, payload in MALFORMED:
+        try:
+            decode_frame(payload)
+        except WireError:
+            continue
+        except Exception as error:  # noqa: BLE001 - report wrong type
+            reject_problems.append(
+                f"{name}: raised {type(error).__name__} instead of WireError"
+            )
+        else:
+            reject_problems.append(f"{name}: accepted")
+    section.add("malformed input rejected", not reject_problems,
+                "; ".join(reject_problems))
+    return section

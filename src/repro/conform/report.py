@@ -1,0 +1,109 @@
+"""Pass/fail reporting for ``repro verify``.
+
+A verify run is a list of :class:`Section`\\ s (one per layer), each a
+list of :class:`CheckResult`\\ s.  The rendering is deliberately plain —
+one line per check, a per-section tally, and a final verdict — so CI
+logs stay readable and diffs of the report itself are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+#: Detail lines longer than this are indented as a block under the
+#: check instead of inlined after the status.
+_INLINE_DETAIL = 60
+
+
+@dataclass
+class CheckResult:
+    """One named check: passed or failed, with human-readable detail."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+    duration: float = 0.0
+
+    @property
+    def status(self) -> str:
+        return "PASS" if self.passed else "FAIL"
+
+
+@dataclass
+class Section:
+    """One verify layer (conformance, golden, matrix)."""
+
+    title: str
+    checks: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def tally(self) -> str:
+        good = sum(1 for check in self.checks if check.passed)
+        return f"{good}/{len(self.checks)} passed"
+
+    def add(self, name: str, passed: bool, detail: str = "",
+            duration: float = 0.0) -> CheckResult:
+        check = CheckResult(name, passed, detail, duration)
+        self.checks.append(check)
+        return check
+
+    def render(self) -> str:
+        lines = [f"## {self.title} — {self.tally}"]
+        for check in self.checks:
+            timing = f" ({check.duration:.1f}s)" if check.duration >= 0.05 else ""
+            if check.detail and (
+                not check.passed or len(check.detail) > _INLINE_DETAIL
+                or "\n" in check.detail
+            ):
+                lines.append(f"  [{check.status}] {check.name}{timing}")
+                for detail_line in check.detail.splitlines():
+                    lines.append(f"         {detail_line}")
+            else:
+                suffix = f" — {check.detail}" if check.detail else ""
+                lines.append(
+                    f"  [{check.status}] {check.name}{suffix}{timing}"
+                )
+        return "\n".join(lines)
+
+
+@dataclass
+class VerifyReport:
+    """The whole ``repro verify`` run."""
+
+    sections: List[Section] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(section.passed for section in self.sections)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.passed else 1
+
+    def failures(self) -> List[CheckResult]:
+        return [
+            check
+            for section in self.sections
+            for check in section.checks
+            if not check.passed
+        ]
+
+    def render(self) -> str:
+        lines = ["# repro verify"]
+        for section in self.sections:
+            lines.append("")
+            lines.append(section.render())
+        lines.append("")
+        failures = self.failures()
+        if failures:
+            names = ", ".join(check.name for check in failures)
+            lines.append(f"VERDICT: FAIL — {len(failures)} check(s): {names}")
+        else:
+            total = sum(len(section.checks) for section in self.sections)
+            lines.append(f"VERDICT: PASS — all {total} checks")
+        return "\n".join(lines)

@@ -1,0 +1,342 @@
+"""RFC 7541 HPACK conformance vectors (Appendix C) for ``repro verify``.
+
+The repo's HPACK codec is *size-exact but byteless*: a header block is
+a stream of symbolic instructions whose octet counts match what a real
+encoder emits.  The Appendix C vectors therefore check everything the
+codec actually models, in both directions:
+
+* **C.1** — prefix-integer octet counts, including the examples' exact
+  values and the prefix-boundary cases;
+* **Appendix B** — Huffman octet counts of every string literal that
+  appears in the Appendix C examples (pinning the code-length table);
+* **Appendix A** — the 61-entry static table;
+* **C.3/C.4** (requests) and **C.5/C.6** (responses, 256-octet table
+  with evictions) — for each header block in sequence: the encoder's
+  representation decisions (indexed vs literal, and which index), the
+  exact encoded octet count in both the Huffman (C.4/C.6) and raw
+  (C.3/C.5) renderings, the dynamic-table contents and RFC §4.1 size
+  after the block, and the decoder's round trip with an independently
+  maintained table;
+* **§4.4** — oversized-entry and eviction behavior.
+
+A drift anywhere in :mod:`repro.hpack` — table accounting, lookup
+order, Huffman lengths, integer coding — fails a named vector here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.conform.report import Section
+from repro.hpack.codec import (
+    HeaderBlock,
+    HpackDecoder,
+    HpackEncoder,
+    prefix_integer_length,
+)
+from repro.hpack.huffman import huffman_encoded_length
+from repro.hpack.table import STATIC_TABLE, DynamicTable, HeaderField
+
+Headers = Tuple[Tuple[str, str], ...]
+
+#: RFC 7541 C.1 plus prefix-boundary cases: (value, prefix bits, octets).
+INTEGER_VECTORS = (
+    (10, 5, 1),     # C.1.1
+    (1337, 5, 3),   # C.1.2
+    (42, 8, 1),     # C.1.3
+    (0, 8, 1),
+    (30, 5, 1),
+    (31, 5, 2),     # prefix saturates, zero continuation
+    (126, 7, 1),
+    (127, 7, 2),
+    (254, 8, 1),
+    (255, 8, 2),
+)
+
+#: Huffman octet counts of every string in the Appendix C examples.
+HUFFMAN_VECTORS = (
+    ("www.example.com", 12),
+    ("no-cache", 6),
+    ("custom-key", 8),
+    ("custom-value", 9),
+    ("302", 2),
+    ("307", 3),
+    ("private", 5),
+    ("Mon, 21 Oct 2013 20:13:21 GMT", 22),
+    ("Mon, 21 Oct 2013 20:13:22 GMT", 22),
+    ("https://www.example.com", 17),
+    ("gzip", 3),
+    ("foo=ASDJKHQKBZXOQWEOPIUAXQWEOIU; max-age=3600; version=1", 45),
+)
+
+#: Appendix A spot checks: (index, name, value).
+STATIC_VECTORS = (
+    (1, ":authority", ""),
+    (2, ":method", "GET"),
+    (4, ":path", "/"),
+    (7, ":scheme", "https"),
+    (8, ":status", "200"),
+    (16, "accept-encoding", "gzip, deflate"),
+    (28, "content-length", ""),
+    (32, "cookie", ""),
+    (55, "set-cookie", ""),
+    (61, "www-authenticate", ""),
+)
+
+
+class BlockVector:
+    """One Appendix C header block with everything the RFC documents."""
+
+    def __init__(
+        self,
+        name: str,
+        headers: Sequence[Tuple[str, str]],
+        kinds: Sequence[Tuple[str, int]],
+        huffman_octets: int,
+        raw_octets: int,
+        table_after: Sequence[Tuple[str, str]],
+        table_size_after: int,
+    ) -> None:
+        self.name = name
+        self.headers: Headers = tuple(headers)
+        #: Expected (instruction kind, index) per header, where the
+        #: index is the full-match index for "indexed" and the name
+        #: index (0 = literal name) for "literal_indexed".
+        self.kinds = tuple(kinds)
+        self.huffman_octets = huffman_octets
+        self.raw_octets = raw_octets
+        self.table_after = tuple(table_after)
+        self.table_size_after = table_size_after
+
+
+_DATE_1 = "Mon, 21 Oct 2013 20:13:21 GMT"
+_DATE_2 = "Mon, 21 Oct 2013 20:13:22 GMT"
+_URL = "https://www.example.com"
+_COOKIE = "foo=ASDJKHQKBZXOQWEOPIUAXQWEOIU; max-age=3600; version=1"
+
+#: C.3 (raw sizes) / C.4 (Huffman sizes): three requests, 4096 table.
+REQUEST_VECTORS = (
+    BlockVector(
+        "C.3.1/C.4.1 first request",
+        [(":method", "GET"), (":scheme", "http"), (":path", "/"),
+         (":authority", "www.example.com")],
+        [("indexed", 2), ("indexed", 6), ("indexed", 4),
+         ("literal_indexed", 1)],
+        huffman_octets=17, raw_octets=20,
+        table_after=[(":authority", "www.example.com")],
+        table_size_after=57,
+    ),
+    BlockVector(
+        "C.3.2/C.4.2 second request",
+        [(":method", "GET"), (":scheme", "http"), (":path", "/"),
+         (":authority", "www.example.com"), ("cache-control", "no-cache")],
+        [("indexed", 2), ("indexed", 6), ("indexed", 4), ("indexed", 62),
+         ("literal_indexed", 24)],
+        huffman_octets=12, raw_octets=14,
+        table_after=[("cache-control", "no-cache"),
+                     (":authority", "www.example.com")],
+        table_size_after=110,
+    ),
+    BlockVector(
+        "C.3.3/C.4.3 third request",
+        [(":method", "GET"), (":scheme", "https"),
+         (":path", "/index.html"), (":authority", "www.example.com"),
+         ("custom-key", "custom-value")],
+        [("indexed", 2), ("indexed", 7), ("indexed", 5), ("indexed", 63),
+         ("literal_indexed", 0)],
+        huffman_octets=24, raw_octets=29,
+        table_after=[("custom-key", "custom-value"),
+                     ("cache-control", "no-cache"),
+                     (":authority", "www.example.com")],
+        table_size_after=164,
+    ),
+)
+
+#: C.5 (raw) / C.6 (Huffman): three responses, 256-octet table, with
+#: the evictions the RFC walks through.
+RESPONSE_VECTORS = (
+    BlockVector(
+        "C.5.1/C.6.1 first response",
+        [(":status", "302"), ("cache-control", "private"),
+         ("date", _DATE_1), ("location", _URL)],
+        [("literal_indexed", 8), ("literal_indexed", 24),
+         ("literal_indexed", 33), ("literal_indexed", 46)],
+        huffman_octets=54, raw_octets=70,
+        table_after=[("location", _URL), ("date", _DATE_1),
+                     ("cache-control", "private"), (":status", "302")],
+        table_size_after=222,
+    ),
+    BlockVector(
+        "C.5.2/C.6.2 second response",
+        [(":status", "307"), ("cache-control", "private"),
+         ("date", _DATE_1), ("location", _URL)],
+        [("literal_indexed", 8), ("indexed", 65), ("indexed", 64),
+         ("indexed", 63)],
+        huffman_octets=8, raw_octets=8,
+        table_after=[(":status", "307"), ("location", _URL),
+                     ("date", _DATE_1), ("cache-control", "private")],
+        table_size_after=222,
+    ),
+    BlockVector(
+        "C.5.3/C.6.3 third response",
+        [(":status", "200"), ("cache-control", "private"),
+         ("date", _DATE_2), ("location", _URL),
+         ("content-encoding", "gzip"), ("set-cookie", _COOKIE)],
+        [("indexed", 8), ("indexed", 65), ("literal_indexed", 33),
+         ("indexed", 64), ("literal_indexed", 26),
+         ("literal_indexed", 55)],
+        huffman_octets=79, raw_octets=98,
+        table_after=[("set-cookie", _COOKIE),
+                     ("content-encoding", "gzip"), ("date", _DATE_2)],
+        table_size_after=215,
+    ),
+)
+
+
+def _raw_block_octets(block: HeaderBlock) -> int:
+    """The block's octet count with raw (non-Huffman) string literals.
+
+    Replays the encoder's instructions pricing every string literal at
+    its raw length — the rendering Appendix C.3/C.5 uses — so the RFC's
+    exact byte counts check the representation decisions independently
+    of the Huffman table.
+    """
+    total = 0
+    for instruction in block.instructions:
+        if instruction.kind == "indexed":
+            total += prefix_integer_length(instruction.index, 7)
+            continue
+        field = instruction.field
+        if instruction.index:
+            total += prefix_integer_length(instruction.index, 6)
+        else:
+            total += 1 + prefix_integer_length(len(field.name), 7)
+            total += len(field.name)
+        total += prefix_integer_length(len(field.value), 7) + len(field.value)
+    return total
+
+
+def _table_state(table: DynamicTable) -> Tuple[Headers, int]:
+    entries = tuple(
+        (entry.name, entry.value)
+        for entry in (table.entry_at(index)
+                      for index in range(len(STATIC_TABLE) + 1,
+                                         len(STATIC_TABLE) + 1 + len(table)))
+    )
+    return entries, table.size
+
+
+def _run_suite(
+    section: Section,
+    suite_name: str,
+    vectors: Sequence[BlockVector],
+    max_table_size: int,
+) -> None:
+    """Encode and decode one Appendix C sequence, checking every block."""
+    encoder = HpackEncoder(max_table_size=max_table_size)
+    decoder = HpackDecoder(max_table_size=max_table_size)
+    for vector in vectors:
+        problems: List[str] = []
+        block = encoder.encode(vector.headers)
+
+        kinds = tuple(
+            (instruction.kind, instruction.index)
+            for instruction in block.instructions
+        )
+        if kinds != vector.kinds:
+            problems.append(f"representations {kinds} != {vector.kinds}")
+        if block.encoded_length != vector.huffman_octets:
+            problems.append(
+                f"huffman octets {block.encoded_length} != "
+                f"{vector.huffman_octets}"
+            )
+        raw = _raw_block_octets(block)
+        if raw != vector.raw_octets:
+            problems.append(f"raw octets {raw} != {vector.raw_octets}")
+
+        entries, size = _table_state(encoder.table)
+        if entries != vector.table_after:
+            problems.append(f"encoder table {entries} != {vector.table_after}")
+        if size != vector.table_size_after:
+            problems.append(
+                f"encoder table size {size} != {vector.table_size_after}"
+            )
+
+        decoded = tuple(decoder.decode(block))
+        if decoded != vector.headers:
+            problems.append(f"decode mismatch: {decoded}")
+        dec_entries, dec_size = _table_state(decoder.table)
+        if dec_entries != vector.table_after:
+            problems.append(
+                f"decoder table {dec_entries} != {vector.table_after}"
+            )
+        if dec_size != vector.table_size_after:
+            problems.append(
+                f"decoder table size {dec_size} != {vector.table_size_after}"
+            )
+
+        section.add(
+            f"{suite_name} {vector.name}",
+            not problems,
+            "; ".join(problems),
+        )
+
+
+def run_checks() -> Section:
+    """All HPACK conformance vectors, as one report section."""
+    section = Section("HPACK conformance (RFC 7541 Appendix C)")
+
+    bad_integers = [
+        f"({value}, {prefix}) -> "
+        f"{prefix_integer_length(value, prefix)} != {expected}"
+        for value, prefix, expected in INTEGER_VECTORS
+        if prefix_integer_length(value, prefix) != expected
+    ]
+    section.add("C.1 prefix integers", not bad_integers,
+                "; ".join(bad_integers))
+
+    bad_huffman = [
+        f"{text!r} -> {huffman_encoded_length(text)} != {expected}"
+        for text, expected in HUFFMAN_VECTORS
+        if huffman_encoded_length(text) != expected
+    ]
+    section.add("Appendix B Huffman lengths", not bad_huffman,
+                "; ".join(bad_huffman))
+
+    static_problems: List[str] = []
+    if len(STATIC_TABLE) != 61:
+        static_problems.append(f"{len(STATIC_TABLE)} entries != 61")
+    for index, name, value in STATIC_VECTORS:
+        entry = STATIC_TABLE[index - 1]
+        if (entry.name, entry.value) != (name, value):
+            static_problems.append(
+                f"[{index}] = ({entry.name!r}, {entry.value!r}) != "
+                f"({name!r}, {value!r})"
+            )
+    section.add("Appendix A static table", not static_problems,
+                "; ".join(static_problems))
+
+    _run_suite(section, "requests", REQUEST_VECTORS, max_table_size=4096)
+    _run_suite(section, "responses", RESPONSE_VECTORS, max_table_size=256)
+
+    # §4.4: an entry larger than the whole table empties it and is not
+    # itself inserted; ordinary inserts evict FIFO from the oldest end.
+    table = DynamicTable(max_size=96)
+    table.insert(HeaderField("a" * 5, "b" * 5))   # size 42
+    table.insert(HeaderField("c" * 5, "d" * 5))   # size 42 -> 84 total
+    table.insert(HeaderField("e" * 5, "f" * 5))   # evicts the oldest
+    eviction_ok = (
+        len(table) == 2
+        and table.size == 84
+        and table.entry_at(62).name == "e" * 5
+        and table.entry_at(63).name == "c" * 5
+    )
+    table.insert(HeaderField("x" * 64, "y" * 64))  # > max: clears table
+    oversize_ok = len(table) == 0 and table.size == 0
+    section.add(
+        "§4.4 eviction and oversized entry",
+        eviction_ok and oversize_ok,
+        "" if eviction_ok and oversize_ok else
+        f"eviction_ok={eviction_ok} oversize_ok={oversize_ok}",
+    )
+    return section

@@ -51,10 +51,17 @@ never lost.
 
 from __future__ import annotations
 
+import base64
+import contextlib
+import hashlib
+import io
+import itertools
 import json
 import multiprocessing
 import os
+import pickle
 import queue as queue_module
+import sys
 import tempfile
 import time
 import traceback
@@ -65,6 +72,7 @@ from typing import (
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Optional,
     TypeVar,
@@ -76,6 +84,18 @@ T = TypeVar("T")
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: While set, worker processes swallow their own stdout so that a
+#: parent-side :func:`capture_stdout` capture stays byte-clean even
+#: with ``--workers`` parallelism (experiment tables are rendered
+#: parent-side; anything a worker prints is non-deterministic noise).
+CAPTURE_ENV = "REPRO_CAPTURE_WORKER_STDOUT"
+
+#: While set to a directory, :meth:`TrialExecutor.map_trials` calls
+#: without an explicit policy checkpoint into it (see
+#: :func:`auto_fault_tolerance`) — the hook the ``repro verify``
+#: determinism matrix uses to kill-and-resume *any* experiment.
+CHECKPOINT_DIR_ENV = "REPRO_CHECKPOINT_DIR"
+
 _BACKENDS = ("serial", "process")
 
 #: Grace period between noticing a dead worker and declaring it crashed
@@ -84,6 +104,93 @@ _CRASH_GRACE = 1.0
 
 #: Supervision loop poll interval, seconds.
 _POLL_INTERVAL = 0.05
+
+
+@contextlib.contextmanager
+def capture_stdout() -> Iterator[io.StringIO]:
+    """Capture experiment stdout for golden-master comparison.
+
+    Redirects this process's ``sys.stdout`` into the yielded buffer and
+    sets :data:`CAPTURE_ENV` so spawned workers (which write to the
+    real file descriptor, out of reach of a parent-side redirect)
+    silence their own stdout instead of interleaving into the capture.
+    """
+    buffer = io.StringIO()
+    previous = os.environ.get(CAPTURE_ENV)
+    os.environ[CAPTURE_ENV] = "1"
+    try:
+        with contextlib.redirect_stdout(buffer):
+            yield buffer
+    finally:
+        if previous is None:
+            os.environ.pop(CAPTURE_ENV, None)
+        else:
+            os.environ[CAPTURE_ENV] = previous
+
+
+def _silence_worker_stdout() -> None:
+    """Worker-side half of :func:`capture_stdout` (spawn inherits env)."""
+    if os.environ.get(CAPTURE_ENV):
+        sys.stdout = io.StringIO()
+
+
+#: Sequence number for :func:`auto_fault_tolerance` checkpoint files,
+#: distinguishing repeated ``map_trials`` calls with identical tasks.
+#: Reset via :func:`reset_auto_checkpoint_calls` before a run so an
+#: interrupted and a resumed run derive the same file names.
+_auto_checkpoint_calls = itertools.count()
+
+
+def reset_auto_checkpoint_calls() -> None:
+    """Restart auto-checkpoint file numbering (before each tracked run)."""
+    global _auto_checkpoint_calls
+    _auto_checkpoint_calls = itertools.count()
+
+
+def auto_fault_tolerance(
+    task: Callable[[int], Any], indices: List[int]
+) -> Optional["FaultTolerance"]:
+    """The :data:`CHECKPOINT_DIR_ENV`-derived policy, if the env is set.
+
+    The checkpoint file name combines a per-process call sequence
+    number with a digest of the task's ``repr`` and the index list, so
+    every ``map_trials`` call in a deterministic experiment maps to a
+    stable file — which is exactly what lets a killed run resume: the
+    re-run replays the same call sequence and finds its own files.
+    Tasks are frozen dataclasses or partials of module functions, whose
+    reprs are deterministic; an address-bearing repr would only cost a
+    cache miss (the trials re-run), never a wrong resume.
+    """
+    directory = os.environ.get(CHECKPOINT_DIR_ENV, "").strip()
+    if not directory:
+        return None
+    call = next(_auto_checkpoint_calls)
+    digest = hashlib.sha256(
+        f"{task!r}|{indices!r}".encode()
+    ).hexdigest()[:12]
+    path = os.path.join(directory, f"call{call:03d}-{digest}.json")
+    return FaultTolerance(retries=0, checkpoint_path=path)
+
+
+def _encode_checkpoint_result(result: Any) -> Any:
+    """JSON-encode a result, wrapping non-JSON payloads via pickle.
+
+    Experiment tasks return either plain-JSON dicts (robustness study)
+    or picklable dataclasses (``TrialSummary``); the wrapper lets one
+    checkpoint format carry both.
+    """
+    try:
+        json.dumps(result)
+        return result
+    except (TypeError, ValueError):
+        payload = base64.b64encode(pickle.dumps(result)).decode("ascii")
+        return {"__pickled__": payload}
+
+
+def _decode_checkpoint_result(value: Any) -> Any:
+    if isinstance(value, dict) and set(value) == {"__pickled__"}:
+        return pickle.loads(base64.b64decode(value["__pickled__"]))
+    return value
 
 
 class TrialExecutionError(RuntimeError):
@@ -172,6 +279,7 @@ class _IndexedTask:
 
 def _trial_worker(task, index, result_queue):  # pragma: no cover - subprocess
     """Spawn target: run one trial, ship (index, ok, payload, tb) back."""
+    _silence_worker_stdout()
     try:
         result = task(index)
     except BaseException as error:
@@ -213,7 +321,7 @@ class Checkpoint:
                     f"{payload.get('version')!r}"
                 )
             self.results = {
-                int(key): value
+                int(key): _decode_checkpoint_result(value)
                 for key, value in payload.get("results", {}).items()
             }
 
@@ -233,7 +341,7 @@ class Checkpoint:
         payload = {
             "version": self.VERSION,
             "results": {
-                str(index): value
+                str(index): _encode_checkpoint_result(value)
                 for index, value in sorted(self.results.items())
             },
         }
@@ -337,6 +445,8 @@ class TrialExecutor:
         indices = (
             list(range(trials)) if isinstance(trials, int) else list(trials)
         )
+        if fault_tolerance is None:
+            fault_tolerance = auto_fault_tolerance(task, indices)
         if fault_tolerance is not None:
             return self._map_fault_tolerant(indices, task, fault_tolerance)
         workers = min(self.workers, len(indices))
@@ -344,7 +454,9 @@ class TrialExecutor:
         if self.backend == "serial" or workers <= 1:
             return [wrapped(index) for index in indices]
         context = multiprocessing.get_context("spawn")
-        with context.Pool(processes=workers) as pool:
+        with context.Pool(
+            processes=workers, initializer=_silence_worker_stdout
+        ) as pool:
             return pool.map(
                 wrapped, indices,
                 chunksize=self._chunk_size(len(indices), workers),

@@ -251,3 +251,29 @@ class ContinuationFrame(Frame):
     @property
     def payload_length(self) -> int:
         return self.block_bytes
+
+
+#: RFC 7540 §6 frame type codes, keyed by frame class.  The simulator
+#: itself never serializes frames, but :mod:`repro.h2.wire` (used by the
+#: ``repro verify`` conformance harness) renders and parses the real
+#: binary framing, and the codes live here next to the classes they
+#: describe.
+FRAME_TYPE_CODES: Dict[type, int] = {
+    DataFrame: 0x0,
+    HeadersFrame: 0x1,
+    PriorityFrame: 0x2,
+    RstStreamFrame: 0x3,
+    SettingsFrame: 0x4,
+    PushPromiseFrame: 0x5,
+    PingFrame: 0x6,
+    GoAwayFrame: 0x7,
+    WindowUpdateFrame: 0x8,
+    ContinuationFrame: 0x9,
+}
+
+#: RFC 7540 §6 frame flags (only the ones the frame classes model).
+FLAG_END_STREAM = 0x1
+FLAG_ACK = 0x1
+FLAG_END_HEADERS = 0x4
+FLAG_PADDED = 0x8
+FLAG_PRIORITY = 0x20

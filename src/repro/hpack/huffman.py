@@ -9,7 +9,11 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-# Code length in bits for each printable ASCII symbol (RFC 7541 App. B).
+# Code length in bits for each ASCII symbol (RFC 7541 App. B).  The
+# printable range is listed first; the handful of control characters
+# whose codes are not 28 bits follow, so lengths are exact for all of
+# ASCII (the ``repro verify`` conformance vectors check the printable
+# range against the RFC's Appendix C examples).
 _PRINTABLE_CODE_BITS = {
     " ": 6, "!": 10, '"': 10, "#": 12, "$": 13, "%": 6, "&": 8, "'": 11,
     "(": 10, ")": 10, "*": 8, "+": 11, ",": 8, "-": 6, ".": 6, "/": 6,
@@ -18,15 +22,19 @@ _PRINTABLE_CODE_BITS = {
     "@": 13, "A": 6, "B": 7, "C": 7, "D": 7, "E": 7, "F": 7, "G": 7,
     "H": 7, "I": 7, "J": 7, "K": 7, "L": 7, "M": 7, "N": 7, "O": 7,
     "P": 7, "Q": 7, "R": 7, "S": 7, "T": 7, "U": 7, "V": 7, "W": 7,
-    "X": 8, "Y": 8, "Z": 8, "[": 13, "\\": 19, "]": 13, "^": 14, "_": 6,
+    "X": 8, "Y": 7, "Z": 8, "[": 13, "\\": 19, "]": 13, "^": 14, "_": 6,
     "`": 15, "a": 5, "b": 6, "c": 5, "d": 6, "e": 5, "f": 6, "g": 6,
     "h": 6, "i": 5, "j": 7, "k": 7, "l": 6, "m": 6, "n": 6, "o": 5,
     "p": 6, "q": 7, "r": 6, "s": 5, "t": 5, "u": 6, "v": 7, "w": 7,
-    "x": 7, "y": 7, "z": 8, "{": 15, "|": 11, "}": 14, "~": 13,
+    "x": 7, "y": 7, "z": 7, "{": 15, "|": 11, "}": 14, "~": 13,
+    # Control characters whose RFC code length is not 28 bits; every
+    # other ASCII control character (including DEL) is exactly 28.
+    "\x00": 13, "\x01": 23, "\t": 24, "\n": 30, "\r": 30, "\x16": 30,
 }
 
-#: Bits used for symbols outside the printable range (RFC codes there
-#: run 20–30 bits; 28 is a representative midpoint of the common ones).
+#: Bits used for symbols outside the ASCII range (RFC codes there run
+#: 20–30 bits; 28 is a representative midpoint of the common ones) and
+#: for the ASCII control characters, where 28 is exact (see above).
 _NON_PRINTABLE_CODE_BITS = 28
 
 

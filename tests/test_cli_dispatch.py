@@ -1,0 +1,119 @@
+"""CLI dispatch health: flag validation and per-experiment smoke runs.
+
+Two layers:
+
+* every incoherent flag/experiment combination must be rejected up
+  front with argparse's exit code 2 and a message naming the flag —
+  scoped flags used to be silently ignored outside their experiment;
+* every experiment choice must dispatch, exit 0 and print something at
+  the smallest profile (``--trials 1 --workers 1``).  Heavy choices
+  (multi-study sweeps, the verify harness) carry the ``slow`` marker
+  and run in the nightly job.
+"""
+
+import pytest
+
+from repro import cli
+
+BAD_COMBOS = [
+    (["table1", "--trial", "3"], "--trial"),
+    (["baseline", "--quick"], "--quick"),
+    (["table1", "--levels", "0.5"], "--levels"),
+    (["fig1", "--checkpoint", "x.json"], "--checkpoint"),
+    (["table2", "--json", "out.json"], "--json"),
+    (["fig5", "--trial-timeout", "10"], "--trial-timeout"),
+    (["fig6", "--trial-retries", "2"], "--trial-retries"),
+    (["table1", "--update-golden"], "--update-golden"),
+    (["delay", "--only", "fig1"], "--only"),
+    (["verify", "--trial", "0"], "--trial"),
+]
+
+
+@pytest.mark.parametrize(
+    "argv, flag", BAD_COMBOS, ids=[" ".join(argv) for argv, _ in BAD_COMBOS]
+)
+def test_incoherent_flag_combo_exits_2(capsys, argv, flag):
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(argv)
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert flag in err
+    assert argv[0] in err  # the message names the offending experiment
+
+
+def test_coherent_scoped_flags_pass_validation():
+    parser = cli._build_parser()
+    args = parser.parse_args(
+        ["robustness-study", "--quick", "--levels", "0.2,0.5",
+         "--checkpoint", "ck.json", "--trial-timeout", "10",
+         "--trial-retries", "2", "--json", "out.json"]
+    )
+    cli._validate_args(parser, args)  # must not raise / exit
+    args = parser.parse_args(["attack", "--trial", "3"])
+    cli._validate_args(parser, args)
+    args = parser.parse_args(["verify", "--quick", "--only", "fig1",
+                              "--update-golden"])
+    cli._validate_args(parser, args)
+
+
+def _smoke(capsys, argv):
+    code = cli.main(argv)
+    out = capsys.readouterr().out
+    return code, out
+
+
+FAST_EXPERIMENTS = [
+    "baseline", "table1", "table2", "fig1", "fig5", "fig6",
+    "delay", "trigger", "partialmux", "fingerprint", "attack", "profile",
+]
+
+SLOW_EXPERIMENTS = ["ablations", "streaming", "generalization"]
+
+
+@pytest.mark.parametrize("experiment", FAST_EXPERIMENTS)
+def test_experiment_smoke(capsys, experiment):
+    code, out = _smoke(capsys, [experiment, "--trials", "1",
+                                "--workers", "1"])
+    assert code == 0
+    assert out.strip()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("experiment", SLOW_EXPERIMENTS)
+def test_heavy_experiment_smoke(capsys, experiment):
+    code, out = _smoke(capsys, [experiment, "--trials", "1",
+                                "--workers", "1"])
+    assert code == 0
+    assert out.strip()
+
+
+def test_scorecard_smoke(capsys):
+    # Scorecard's exit code encodes the shape verdict, not dispatch
+    # health — at --trials 1 the paper's shapes legitimately may not
+    # hold, so only 0/1 (ran and rendered) count as a healthy dispatch.
+    code, out = _smoke(capsys, ["scorecard", "--trials", "1",
+                                "--workers", "1"])
+    assert code in (0, 1)
+    assert out.strip()
+
+
+def test_robustness_study_smoke(capsys):
+    code, out = _smoke(capsys, ["robustness-study", "--quick",
+                                "--trials", "1", "--workers", "1"])
+    assert code == 0
+    assert out.strip()
+
+
+@pytest.mark.slow
+def test_verify_smoke(capsys):
+    code, out = _smoke(capsys, ["verify", "--only", "fig1",
+                                "--fuzz-examples", "25"])
+    assert code == 0
+    assert "VERDICT: PASS" in out
+
+
+def test_verify_unknown_only_exits_2(capsys):
+    code = cli.main(["verify", "--only", "nosuch"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "nosuch" in captured.err

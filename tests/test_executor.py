@@ -158,6 +158,7 @@ def test_trial_summary_without_analysis_pickles():
 # End-to-end determinism: serial vs process on real experiments
 # ---------------------------------------------------------------------------
 
+@pytest.mark.slow
 def test_table1_identical_across_worker_counts():
     kwargs = dict(trials=3, seed=7, delays=(0.0, 0.050))
     serial = table1.run(workers=1, **kwargs)
@@ -168,6 +169,7 @@ def test_table1_identical_across_worker_counts():
     ]
 
 
+@pytest.mark.slow
 def test_fig6_identical_across_worker_counts():
     kwargs = dict(trials=2, seed=7, drop_rates=(0.8,))
     serial = fig6.run(workers=1, **kwargs)

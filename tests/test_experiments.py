@@ -31,6 +31,7 @@ def test_fig1_sequential_identifies_both():
     assert "Figure 1" in result.render()
 
 
+@pytest.mark.slow
 def test_baseline_experiment_small():
     result = baseline.run(trials=4, seed=7)
     assert result.trials == 4
@@ -39,6 +40,7 @@ def test_baseline_experiment_small():
     assert "baseline" in result.render()
 
 
+@pytest.mark.slow
 def test_delay_ablation_gaps_unchanged():
     result = delay_ablation.run(trials=3, seed=7, delays=(0.0, 0.1))
     rows = result.rows_data
@@ -48,12 +50,14 @@ def test_delay_ablation_gaps_unchanged():
     assert rows[0].not_multiplexed_pct == rows[1].not_multiplexed_pct
 
 
+@pytest.mark.slow
 def test_quirk_ablation_shapes():
     result = ablations.run_quirk(trials=4, seed=7)
     assert len(result.rows_data) == 2
     assert "duplicate" in result.render()
 
 
+@pytest.mark.slow
 def test_h1_baseline_ablation():
     result = ablations.run_h1_baseline(trials=2, seed=7)
     rows = {row[0]: row[1] for row in result.rows_data}

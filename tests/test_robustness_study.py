@@ -64,6 +64,7 @@ def test_trial_task_returns_json_safe_dict():
     assert record["fault_drops"] == 0  # clean links at intensity 0
 
 
+@pytest.mark.slow
 def test_trial_task_is_deterministic():
     task = RobustnessTrial(seed=7, intensity=0.5, horizon=15.0)
     assert task(1) == task(1)
@@ -112,6 +113,7 @@ def test_monotone_story_tolerates_small_noise():
     assert not result.monotone_story
 
 
+@pytest.mark.slow
 def test_run_tiny_sweep_renders_and_serializes():
     result = run(trials=1, seed=7, intensities=(0.0,), workers=1)
     assert len(result.rows_data) == 1
