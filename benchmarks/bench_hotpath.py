@@ -7,6 +7,8 @@ Times the two canonical single-trial slices
 * min/mean wall time per slice over a few repetitions,
 * the profiler snapshot of one profiled pass (event/packet/frame
   counters, phase timers, HPACK cache hit rates),
+* peak memory (process RSS high-water mark plus the tracemalloc
+  Python-heap peak of one untimed pass),
 * the checked-in pre-optimization reference timings and the implied
   speedup.
 
@@ -72,6 +74,26 @@ def time_slice(kind: str, reps: int) -> dict:
     }
 
 
+def measure_memory() -> dict:
+    """Peak-memory figures for one pass over both reference slices.
+
+    Runs *after* the timed repetitions so tracemalloc's allocation
+    overhead never contaminates the wall-clock samples.  RSS is the
+    process high-water mark (monotone over the whole bench run);
+    ``tracemalloc_peak_kb`` is the Python-heap peak of this pass alone
+    — the number that bounds a single trial's live objects.
+    """
+    from repro import profiling
+
+    with profiling.traced_memory() as traced:
+        for kind in KINDS:
+            run_reference_trial(kind)
+    return {
+        "peak_rss_kb": profiling.peak_rss_kb(),
+        "tracemalloc_peak_kb": traced["tracemalloc_peak_kb"],
+    }
+
+
 def run_bench(reps: int) -> dict:
     """Measure both slices plus one profiled pass; returns the payload
     written to ``BENCH_hotpath.json``."""
@@ -89,6 +111,7 @@ def run_bench(reps: int) -> dict:
         "speedup_vs_reference": speedups,
         "target_speedup": TARGET_SPEEDUP,
         "profile": profiler.snapshot(),
+        "memory": measure_memory(),
         "host": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
@@ -142,6 +165,8 @@ def test_bench_hotpath():
     counters = payload["profile"]["counters"]
     assert counters["sim.events"] > 0
     assert counters["net.packets"] > 0
+    assert payload["memory"]["peak_rss_kb"] > 0
+    assert payload["memory"]["tracemalloc_peak_kb"] > 0
     parsed = json.loads(path.read_text())
     assert parsed["speedup_vs_reference"].keys() == {"table1", "fig6"}
 

@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""CI smoke test for campaign checkpoint/resume bit-identity.
+
+Two phases, stdlib only:
+
+A. A clean ``repro campaign`` reference run (no checkpoint).
+B. The same campaign with ``--checkpoint-dir``, SIGKILLed once the
+   shard checkpoint holds at least two completed shards — the re-run
+   must resume those shards (not recompute them) and produce JSON
+   identical to the uninterrupted reference.
+
+Exit code 0 only if the resumed output equals the reference byte for
+byte.  The final campaign JSON is left at ``--out`` for upload as a CI
+artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SESSIONS = 30_000
+SHARD_SIZE = 1_500
+MIN_SHARDS_BEFORE_KILL = 2
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _campaign_command(json_out, checkpoint_dir=None, workers=2):
+    command = [
+        sys.executable, "-m", "repro", "campaign",
+        "--sessions", str(SESSIONS), "--shard-size", str(SHARD_SIZE),
+        "--seed", "7", "--workers", str(workers),
+        "--json", json_out,
+    ]
+    if checkpoint_dir:
+        command += ["--checkpoint-dir", checkpoint_dir]
+    return command
+
+
+def _run(command, timeout):
+    completed = subprocess.run(
+        command, cwd=REPO_ROOT, env=_env(), timeout=timeout,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    print(completed.stdout)
+    print(completed.stderr, file=sys.stderr)
+    if completed.returncode != 0:
+        raise SystemExit(
+            f"FAIL: {' '.join(command)} exited {completed.returncode}"
+        )
+    return completed
+
+
+def _load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _checkpoint_shards(checkpoint_dir):
+    """Completed shard count in the (single) campaign checkpoint file."""
+    paths = glob.glob(os.path.join(checkpoint_dir, "campaign-*.json"))
+    if not paths:
+        return 0
+    try:
+        return len(_load(paths[0]).get("results", {}))
+    except (ValueError, OSError):
+        return 0  # mid-replace; retry next poll
+
+
+def phase_a(workdir, timeout):
+    print("== Phase A: reference run ==", flush=True)
+    reference_path = os.path.join(workdir, "reference.json")
+    _run(_campaign_command(reference_path), timeout)
+    return _load(reference_path)
+
+
+def phase_b(workdir, reference, timeout):
+    print("== Phase B: kill the campaign, then resume ==", flush=True)
+    out_path = os.path.join(workdir, "resumed.json")
+    checkpoint_dir = os.path.join(workdir, "checkpoints")
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    process = subprocess.Popen(
+        _campaign_command(out_path, checkpoint_dir=checkpoint_dir),
+        cwd=REPO_ROOT, env=_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    completed_before_kill = 0
+    deadline = time.monotonic() + timeout
+    while process.poll() is None and time.monotonic() < deadline:
+        completed_before_kill = _checkpoint_shards(checkpoint_dir)
+        if completed_before_kill >= MIN_SHARDS_BEFORE_KILL:
+            process.send_signal(signal.SIGKILL)
+            break
+        time.sleep(0.1)
+    process.wait(timeout=30)
+    if completed_before_kill < MIN_SHARDS_BEFORE_KILL:
+        raise SystemExit(
+            "FAIL: campaign finished before the checkpoint held "
+            f"{MIN_SHARDS_BEFORE_KILL} shards to interrupt (nothing was "
+            "tested) — lower SHARD_SIZE or raise SESSIONS"
+        )
+    print(
+        f"killed campaign with {completed_before_kill} shard(s) "
+        "checkpointed", flush=True,
+    )
+
+    # Resume: checkpointed shards must be reused, output must match.
+    completed = _run(
+        _campaign_command(out_path, checkpoint_dir=checkpoint_dir), timeout
+    )
+    resumed_after = _checkpoint_shards(checkpoint_dir)
+    if resumed_after < completed_before_kill:
+        raise SystemExit("FAIL: resume lost checkpointed shards")
+    if "resumed" not in completed.stderr:
+        raise SystemExit("FAIL: resume did not report resumed shards")
+    result = _load(out_path)
+    if result != reference:
+        raise SystemExit("FAIL: resumed output differs from reference")
+    print(
+        "phase B OK: resume reused the checkpoint, output identical",
+        flush=True,
+    )
+    return result
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workdir", default="campaign_smoke",
+        help="directory for checkpoints and JSON outputs",
+    )
+    parser.add_argument(
+        "--out", default="campaign_smoke.json",
+        help="where to leave the final campaign JSON (CI artifact)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="per-phase wall-clock budget in seconds",
+    )
+    args = parser.parse_args()
+
+    workdir = os.path.abspath(args.workdir)
+    os.makedirs(workdir, exist_ok=True)
+    reference = phase_a(workdir, args.timeout)
+    phase_b(workdir, reference, args.timeout)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(reference, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"campaign smoke passed; campaign JSON at {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,7 @@ Quick start::
 """
 
 from repro import profiling
+from repro.campaign import CampaignConfig, CampaignResult, run_campaign
 from repro.core.adversary import Adversary, AdversaryConfig
 from repro.core.sequence import SequenceAttackResult
 from repro.experiments.executor import (
@@ -41,13 +42,15 @@ from repro.experiments.harness import (
     summarize_trial,
 )
 from repro.netsim.faults import FaultSchedule
-from repro.web.workload import VolunteerWorkload
+from repro.web.workload import PopulationWorkload, VolunteerWorkload
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Adversary",
     "AdversaryConfig",
+    "CampaignConfig",
+    "CampaignResult",
     "FaultSchedule",
     "FaultTolerance",
     "SequenceAttackResult",
@@ -56,9 +59,11 @@ __all__ = [
     "TrialExecutor",
     "TrialResult",
     "TrialSummary",
+    "PopulationWorkload",
     "VolunteerWorkload",
     "profiling",
     "quick_attack",
+    "run_campaign",
     "run_trial",
     "summarize_trial",
 ]

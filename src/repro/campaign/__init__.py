@@ -1,0 +1,36 @@
+"""Million-session campaigns: sharded streaming attack studies.
+
+The paper's study covers ≈500 volunteers; this package scales the same
+question — how often does the §V attack succeed? — to synthetic
+populations of 10⁵–10⁷ pages.  See :mod:`repro.campaign.engine` for the
+shard → worker → trial hierarchy and
+:mod:`repro.campaign.columnar` for the streaming columnar aggregation
+that keeps peak memory independent of the session count.
+
+Run one from the CLI::
+
+    python -m repro campaign --sessions 100000 --workers 8
+"""
+
+from repro.campaign.columnar import ColumnarSummary, merge_summaries
+from repro.campaign.engine import (
+    AnalyticModel,
+    CampaignConfig,
+    CampaignError,
+    CampaignResult,
+    ShardTask,
+    checkpoint_path,
+    run_campaign,
+)
+
+__all__ = [
+    "AnalyticModel",
+    "CampaignConfig",
+    "CampaignError",
+    "CampaignResult",
+    "ColumnarSummary",
+    "ShardTask",
+    "checkpoint_path",
+    "merge_summaries",
+    "run_campaign",
+]

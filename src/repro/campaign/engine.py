@@ -1,0 +1,526 @@
+"""The campaign engine: shard → worker → trial streaming execution.
+
+A *campaign* runs 10⁵–10⁷ seeded sessions of the paper's attack over a
+synthetic page population (:class:`~repro.web.workload.PopulationWorkload`)
+and reports population-scale attack statistics.  The execution hierarchy:
+
+* the campaign is split into fixed-size **shards** of consecutive
+  session indices;
+* shards are mapped over **workers** by the existing
+  :class:`~repro.experiments.executor.TrialExecutor` (spawn processes,
+  crash isolation, shard-level retry);
+* inside a shard, **trials** (sessions) run one at a time and fold
+  immediately into a :class:`~repro.campaign.columnar.ColumnarSummary`
+  — no per-trial object outlives its shard, so a worker's memory is
+  O(1) in the session count and the parent's is O(shards).
+
+Checkpoint/resume rides the executor's JSON
+:class:`~repro.experiments.executor.Checkpoint`: each completed shard's
+columnar summary (plain integers) streams to disk, and a re-run of the
+same campaign — the checkpoint file name is derived from the campaign
+config — skips completed shards and merges to a bit-identical result.
+
+Two session engines:
+
+* ``analytic`` (default) — evaluates the §V size-identification attack
+  directly on the page spec with the shared framing model
+  (:func:`repro.core.predictor.expected_wire_payload`), a seeded
+  estimator-noise model, and a calibrated Bernoulli for the
+  serialization phase.  Microseconds per session; this is what makes a
+  10⁵–10⁷ session campaign tractable on CI-class hardware.
+* ``full`` — materialises each spec into a servable website and runs
+  the complete packet-level attacked load (topology, TCP, HTTP/2,
+  adversary), exactly like the E12 generalization study.  ~0.1 s per
+  session; used for small campaigns and for calibrating the analytic
+  model's serialization rate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.campaign.columnar import ColumnarSummary, merge_summaries
+from repro.core.predictor import (
+    DEFAULT_CHUNK_BYTES,
+    RECORD_OVERHEAD,
+    expected_wire_payload,
+)
+from repro.experiments.executor import (
+    FaultTolerance,
+    TrialError,
+    TrialExecutor,
+)
+from repro.experiments.report import format_table
+from repro.web.workload import PageSpec, PopulationConfig, PopulationWorkload
+
+#: Session engines accepted by :class:`CampaignConfig`.
+MODES = ("analytic", "full")
+
+
+@dataclass(frozen=True)
+class AnalyticModel:
+    """Knobs of the analytic (closed-form) session evaluator.
+
+    Identification is evaluated *exactly* — the adversary's framing
+    model, tolerance window and nearest-match rule are the real
+    :class:`~repro.core.predictor.SizePredictor` logic applied to the
+    page's ground-truth sizes.  Two stochastic components stand in for
+    the packet-level machinery, both drawn from the session's seeded
+    substream:
+
+    * estimator noise — the observed target payload is the expected
+      wire payload perturbed by a TLS-record miscount
+      (±``RECORD_OVERHEAD`` with probability ``record_miscount_rate``)
+      plus uniform byte noise in ``[-noise_bytes, +noise_bytes]``;
+    * serialization success — a Bernoulli whose rate falls linearly
+      with page object count, calibrated against the full-simulation
+      E12 generalization study (busier pages give the drop window more
+      chances to miss).
+
+    Attributes:
+        tolerance_abs / tolerance_rel: the predictor's match window.
+        chunk_bytes: server DATA chunking granularity.
+        record_miscount_rate: probability the estimator over- or
+            under-counts one TLS record (split evenly between ±1).
+        noise_bytes: half-width of the uniform byte noise.
+        serialize_base: serialization success rate of a minimal page.
+        serialize_slope: success-rate decay per embedded object.
+        serialize_floor: lower bound of the serialization rate.
+    """
+
+    tolerance_abs: int = 350
+    tolerance_rel: float = 0.05
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    record_miscount_rate: float = 0.2
+    noise_bytes: int = 48
+    serialize_base: float = 0.99
+    serialize_slope: float = 0.003
+    serialize_floor: float = 0.60
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.record_miscount_rate <= 1:
+            raise ValueError("record_miscount_rate must be in [0, 1]")
+        if self.noise_bytes < 0:
+            raise ValueError("noise_bytes must be non-negative")
+        if not 0 <= self.serialize_floor <= self.serialize_base <= 1:
+            raise ValueError(
+                "need 0 <= serialize_floor <= serialize_base <= 1"
+            )
+
+    def serialize_rate(self, object_count: int) -> float:
+        """Serialization success probability for a page of this size."""
+        return max(
+            self.serialize_floor,
+            self.serialize_base - self.serialize_slope * object_count,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of one campaign run (picklable, fully deterministic).
+
+    Attributes:
+        sessions: total seeded sessions.
+        shard_size: consecutive sessions per shard; peak memory and
+            checkpoint granularity are both O(``sessions/shard_size``).
+        seed: population master seed.
+        mode: session engine (``analytic`` or ``full``).
+        population: heavy-tail page population knobs.
+        model: analytic evaluator knobs (ignored in ``full`` mode).
+        horizon: full-mode simulated-time budget per session.
+    """
+
+    sessions: int = 100_000
+    shard_size: int = 2_000
+    seed: int = 7
+    mode: str = "analytic"
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    model: AnalyticModel = field(default_factory=AnalyticModel)
+    horizon: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ValueError("sessions must be >= 1")
+        if self.shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown campaign mode {self.mode!r}; expected one of {MODES}"
+            )
+
+    @property
+    def shard_count(self) -> int:
+        return math.ceil(self.sessions / self.shard_size)
+
+    def shard_range(self, shard: int) -> range:
+        """Session indices of one shard."""
+        start = shard * self.shard_size
+        return range(start, min(start + self.shard_size, self.sessions))
+
+    def digest(self) -> str:
+        """Stable digest of the config — the checkpoint file identity.
+
+        Config dataclasses hold only ints/floats/strings/tuples, whose
+        reprs are deterministic across processes and runs.
+        """
+        return hashlib.sha256(repr(self).encode("utf-8")).hexdigest()[:12]
+
+
+# ---------------------------------------------------------------------------
+# Session evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate_page_analytic(
+    spec: PageSpec, stream, model: AnalyticModel
+) -> Dict[str, Any]:
+    """Closed-form evaluation of one session; returns fold kwargs.
+
+    Walks the page inventory once: the observed target payload is
+    nearest-matched against every object's expected wire payload under
+    the predictor's tolerance rule (ties break toward the earlier
+    candidate, target first — the same first-wins rule as
+    ``SizePredictor.classify`` with a deterministic pool order).
+    """
+    chunk = model.chunk_bytes
+    expected_target = expected_wire_payload(spec.target_size, chunk)
+
+    # Estimator noise: a possible TLS record miscount plus byte jitter.
+    miscount = 0
+    if stream.random() < model.record_miscount_rate:
+        miscount = 1 if stream.random() < 0.5 else -1
+    observed = (
+        expected_target
+        + miscount * RECORD_OVERHEAD
+        + stream.randint(-model.noise_bytes, model.noise_bytes)
+    )
+
+    tolerance_abs = model.tolerance_abs
+    tolerance_rel = model.tolerance_rel
+    best_error: Optional[int] = None
+    best_is_target = False
+    confusers = 0
+    # Candidate order: the target, then embedded objects in rank order.
+    for position, size in enumerate((spec.target_size,) + spec.object_sizes):
+        expected = expected_wire_payload(size, chunk)
+        error = abs(observed - expected)
+        if error > max(tolerance_abs, tolerance_rel * expected):
+            continue
+        if position > 0:
+            confusers += 1
+        if best_error is None or error < best_error:
+            best_error = error
+            best_is_target = position == 0
+    identified = best_is_target
+    serialized = stream.random() < model.serialize_rate(spec.object_count)
+    return {
+        "objects": spec.object_count,
+        "page_bytes": spec.page_bytes,
+        "target_bytes": spec.target_size,
+        "serialized": serialized,
+        "identified": identified,
+        "confusers": confusers,
+        "match_error": best_error if identified else 0,
+        "broken": False,
+        "duration_us": 0,
+    }
+
+
+def evaluate_page_full(
+    spec: PageSpec,
+    rng,
+    model: AnalyticModel,
+    horizon: float = 40.0,
+) -> Dict[str, Any]:
+    """Packet-level evaluation of one session; returns fold kwargs.
+
+    Materialises the spec into a servable site and runs the complete
+    attacked load — the E12 generalization trial shape — then scores
+    identification with the real estimator/predictor pipeline.
+    Imports are local so analytic campaigns never touch the simulator.
+    """
+    from repro.core.adversary import Adversary, AdversaryConfig
+    from repro.core.controller import NetworkController
+    from repro.core.estimator import SizeEstimator
+    from repro.core.metrics import MultiplexingReport
+    from repro.core.monitor import TrafficMonitor
+    from repro.core.predictor import SizePredictor
+    from repro.h2.client import H2Client
+    from repro.h2.server import H2Server, ServerConfig
+    from repro.netsim.topology import build_adversary_path
+    from repro.web.browser import Browser, BrowserConfig
+    from repro.web.generator import generate_site_from_spec
+
+    site = generate_site_from_spec(rng, spec)
+    topology = build_adversary_path(seed=rng.master_seed)
+    sim = topology.sim
+    server = H2Server(
+        sim, topology.server, 443, site.website.router,
+        config=ServerConfig(), trace=topology.trace, rng=rng,
+    )
+    client = H2Client(
+        sim, topology.client, topology.server.endpoint(443),
+        trace=topology.trace, authority="population.example",
+    )
+    browser = Browser(
+        sim, client, site.schedule, config=BrowserConfig(),
+        trace=topology.trace,
+    )
+    controller = NetworkController(
+        sim, topology.middlebox, rng, trace=topology.trace
+    )
+    target_position = site.schedule.index_of(site.target_object_id) + 1
+    adversary = Adversary(
+        controller,
+        AdversaryConfig(
+            trigger_get_index=target_position,
+            escalated_jitter=0.400,
+        ),
+        trace=topology.trace,
+    )
+    adversary.arm()
+    browser.start()
+    while sim.now < horizon:
+        sim.run_until(min(sim.now + 0.5, horizon))
+        if browser.broken or browser.page_complete:
+            sim.run_until(min(sim.now + 0.3, horizon))
+            break
+
+    report = (
+        MultiplexingReport.from_layout(server.connections[0].tcp.layout)
+        if server.connections else MultiplexingReport()
+    )
+    serialized = report.min_degree(site.target_object_id) == 0.0
+
+    monitor = TrafficMonitor(topology.middlebox.capture)
+    estimates = SizeEstimator().estimate(monitor.response_packets())
+    predictor = SizePredictor(
+        site.website.size_map(),
+        chunk_bytes=model.chunk_bytes,
+        tolerance_abs=model.tolerance_abs,
+        tolerance_rel=model.tolerance_rel,
+    )
+    identified = False
+    match_error = 0
+    candidate = predictor.find_object(estimates, site.target_object_id)
+    if candidate is not None:
+        best = predictor.classify(candidate)
+        if best is not None and best.object_id == site.target_object_id:
+            identified = True
+            match_error = best.error
+
+    # Tolerance-window crowding is a property of the inventory itself.
+    expected_target = predictor.expected_for(site.target_object_id)
+    confusers = 0
+    for object_id in site.website.size_map():
+        if object_id == site.target_object_id:
+            continue
+        expected = predictor.expected_for(object_id)
+        budget = max(
+            model.tolerance_abs, model.tolerance_rel * expected
+        )
+        if abs(expected_target - expected) <= budget:
+            confusers += 1
+
+    return {
+        "objects": spec.object_count,
+        "page_bytes": spec.page_bytes,
+        "target_bytes": spec.target_size,
+        "serialized": serialized,
+        "identified": identified,
+        "confusers": confusers,
+        "match_error": match_error,
+        "broken": browser.broken,
+        "duration_us": round(sim.now * 1_000_000),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Shard execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Picklable worker task: run one shard, return its columnar JSON.
+
+    The returned value is the summary's plain-integer JSON dict, which
+    the executor's checkpoint persists verbatim — so a resumed campaign
+    reads back exactly the bytes a completed shard produced.
+    """
+
+    config: CampaignConfig
+
+    def __call__(self, shard: int) -> Dict[str, Any]:
+        config = self.config
+        workload = PopulationWorkload(
+            seed=config.seed, config=config.population
+        )
+        summary = ColumnarSummary()
+        full = config.mode == "full"
+        for session in config.shard_range(shard):
+            spec = workload.page_spec(session)
+            rng = workload.session_rng(session)
+            if full:
+                outcome = evaluate_page_full(
+                    spec, rng, config.model, horizon=config.horizon
+                )
+            else:
+                outcome = evaluate_page_analytic(
+                    spec, rng.stream("analytic"), config.model
+                )
+            summary.fold_session(**outcome)
+            # Nothing from this session survives: spec, rng and outcome
+            # are dropped here; only the columnar fold remains.
+        return summary.to_json()
+
+
+class CampaignError(RuntimeError):
+    """A shard exhausted its retries; the campaign total would be wrong."""
+
+    def __init__(self, errors: List[TrialError]) -> None:
+        shards = ", ".join(str(error.trial) for error in errors)
+        super().__init__(
+            f"{len(errors)} shard(s) failed after retries: {shards}"
+        )
+        self.errors = errors
+
+
+@dataclass
+class CampaignResult:
+    """Merged campaign output plus run metadata."""
+
+    config: CampaignConfig
+    summary: ColumnarSummary
+    shards: int
+    workers: int
+    resumed_shards: int = 0
+
+    def digest(self) -> str:
+        """Digest of the merged summary — the bit-identity handle."""
+        return self.summary.digest()
+
+    def to_json(self) -> Dict[str, Any]:
+        """Deterministic JSON (no wall-clock state; safe to diff)."""
+        summary = self.summary
+        return {
+            "campaign": {
+                "sessions": self.config.sessions,
+                "shard_size": self.config.shard_size,
+                "shards": self.shards,
+                "seed": self.config.seed,
+                "mode": self.config.mode,
+                "config_digest": self.config.digest(),
+            },
+            "summary": summary.to_json(),
+            "digest": summary.digest(),
+            "rates": {
+                "serialized": round(summary.rate("serialized"), 6),
+                "identified": round(summary.rate("identified"), 6),
+                "succeeded": round(summary.rate("succeeded"), 6),
+                "ambiguous": round(summary.rate("ambiguous"), 6),
+            },
+        }
+
+    def render(self) -> str:
+        """The campaign report table (deterministic stdout)."""
+        summary = self.summary
+        sessions = summary.sessions
+        rows = [
+            ["sessions", f"{sessions}"],
+            ["shards", f"{self.shards} × {self.config.shard_size}"],
+            ["mode", self.config.mode],
+            ["population seed", f"{self.config.seed}"],
+            ["objects/page (mean)", f"{summary.mean('objects'):.1f}"],
+            [
+                "objects/page (min–max)",
+                f"{summary.mins.get('objects', 0)}–"
+                f"{summary.maxs.get('objects', 0)}",
+            ],
+            ["page weight (mean)", f"{summary.mean('page_bytes'):,.0f} B"],
+            ["target serialized", f"{100.0 * summary.rate('serialized'):.1f}%"],
+            ["target identified", f"{100.0 * summary.rate('identified'):.1f}%"],
+            ["attack success", f"{100.0 * summary.rate('succeeded'):.1f}%"],
+            ["ambiguous pages", f"{100.0 * summary.rate('ambiguous'):.1f}%"],
+            ["summary digest", summary.digest()[:16]],
+        ]
+        return format_table(
+            ["campaign", "value"], rows,
+            title=(
+                "Campaign — population-scale attack statistics "
+                "(streaming columnar fold)"
+            ),
+        )
+
+
+def checkpoint_path(config: CampaignConfig, checkpoint_dir: str) -> str:
+    """The campaign's shard-checkpoint file inside ``checkpoint_dir``.
+
+    Derived from the config digest, so re-running the same campaign
+    resumes its own file and a different campaign never collides.
+    """
+    return os.path.join(
+        checkpoint_dir, f"campaign-{config.digest()}.json"
+    )
+
+
+def run_campaign(
+    config: CampaignConfig,
+    workers: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    retries: int = 1,
+) -> CampaignResult:
+    """Run (or resume) a campaign and merge its shards.
+
+    Args:
+        config: the campaign parameters.
+        workers: worker processes for shard execution (argument →
+            ``REPRO_WORKERS`` → 1, like every experiment).
+        checkpoint_dir: when set, completed shard summaries stream into
+            a JSON checkpoint there and a re-run with the same config
+            resumes from it; the merged output is bit-identical whether
+            or not the run was interrupted.
+        retries: same-seed retries per failed shard (checkpointed runs).
+
+    Returns:
+        The merged :class:`CampaignResult`.
+
+    Raises:
+        CampaignError: when a shard exhausted its retries.
+    """
+    executor = TrialExecutor(workers=workers)
+    task = ShardTask(config)
+    fault_tolerance = None
+    resumed = 0
+    if checkpoint_dir:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        path = checkpoint_path(config, checkpoint_dir)
+        if os.path.exists(path):
+            from repro.experiments.executor import Checkpoint
+
+            resumed = len(Checkpoint(path))
+        fault_tolerance = FaultTolerance(
+            retries=retries, checkpoint_path=path, checkpoint_every=1
+        )
+    outcomes = executor.map_trials(
+        config.shard_count, task, fault_tolerance=fault_tolerance
+    )
+    errors = [item for item in outcomes if isinstance(item, TrialError)]
+    if errors:
+        raise CampaignError(errors)
+    # map_trials returns in shard-index order, so this left fold is the
+    # canonical merge order regardless of which worker finished first.
+    summary = merge_summaries(
+        ColumnarSummary.from_json(payload) for payload in outcomes
+    )
+    return CampaignResult(
+        config=config,
+        summary=summary,
+        shards=config.shard_count,
+        workers=executor.workers,
+        resumed_shards=resumed,
+    )

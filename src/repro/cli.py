@@ -38,10 +38,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "baseline", "table1", "table2", "fig1", "fig5", "fig6",
             "delay", "ablations", "attack", "trigger", "streaming",
             "partialmux", "generalization", "fingerprint", "scorecard",
-            "profile", "robustness-study", "verify",
+            "profile", "robustness-study", "verify", "campaign",
         ],
-        help="which paper experiment to run (or `verify` for the "
-             "conformance & golden-master harness)",
+        help="which paper experiment to run (`verify` for the "
+             "conformance & golden-master harness, `campaign` for the "
+             "population-scale sharded campaign engine)",
     )
     parser.add_argument(
         "--trials", type=int, default=25,
@@ -86,7 +87,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     robustness.add_argument(
         "--json", type=str, default=None, metavar="PATH", dest="json_out",
-        help="also write the study result as JSON to this path",
+        help="also write the study/campaign result as JSON to this path "
+             "(robustness-study and campaign)",
     )
     robustness.add_argument(
         "--trial-timeout", type=float, default=None,
@@ -95,6 +97,41 @@ def _build_parser() -> argparse.ArgumentParser:
     robustness.add_argument(
         "--trial-retries", type=int, default=None,
         help="same-seed retries per crashed/hung/failed trial (default 1)",
+    )
+    campaign = parser.add_argument_group(
+        "campaign options",
+        "population-scale sharded campaign engine (`repro campaign`)",
+    )
+    campaign.add_argument(
+        "--sessions", type=int, default=None,
+        help="total seeded sessions in the campaign (default 100000)",
+    )
+    campaign.add_argument(
+        "--shard-size", type=int, default=None,
+        help="consecutive sessions per shard; peak memory scales with "
+             "sessions/shard-size, not with sessions (default 2000)",
+    )
+    campaign.add_argument(
+        "--mode", choices=["analytic", "full"], default=None,
+        help="session engine: closed-form analytic evaluation (fast, "
+             "the default) or the complete packet-level simulation",
+    )
+    campaign.add_argument(
+        "--checkpoint-dir", type=str, default=None, metavar="DIR",
+        help="stream completed shard summaries into a checkpoint here; "
+             "re-running the same campaign resumes bit-identically",
+    )
+    campaign.add_argument(
+        "--max-objects", type=int, default=None,
+        help="upper bound of the zipf per-page object count (default 96)",
+    )
+    campaign.add_argument(
+        "--count-exponent", type=float, default=None,
+        help="zipf exponent of the page object-count draw (default 0.9)",
+    )
+    campaign.add_argument(
+        "--size-exponent", type=float, default=None,
+        help="rank-size exponent of object sizes (default 1.1)",
     )
     verify = parser.add_argument_group(
         "verify options",
@@ -141,7 +178,6 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
     robustness_only = (
         ("--levels", args.levels is not None),
         ("--checkpoint", args.checkpoint is not None),
-        ("--json", args.json_out is not None),
         ("--trial-timeout", args.trial_timeout is not None),
         ("--trial-retries", args.trial_retries is not None),
     )
@@ -149,6 +185,28 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
         if given and args.experiment != "robustness-study":
             parser.error(
                 f"{flag} only applies to the robustness-study experiment "
+                f"(got experiment {args.experiment!r})"
+            )
+    if args.json_out is not None and args.experiment not in (
+        "robustness-study", "campaign"
+    ):
+        parser.error(
+            f"--json only applies to robustness-study and campaign "
+            f"(got experiment {args.experiment!r})"
+        )
+    campaign_only = (
+        ("--sessions", args.sessions is not None),
+        ("--shard-size", args.shard_size is not None),
+        ("--mode", args.mode is not None),
+        ("--checkpoint-dir", args.checkpoint_dir is not None),
+        ("--max-objects", args.max_objects is not None),
+        ("--count-exponent", args.count_exponent is not None),
+        ("--size-exponent", args.size_exponent is not None),
+    )
+    for flag, given in campaign_only:
+        if given and args.experiment != "campaign":
+            parser.error(
+                f"{flag} only applies to the campaign experiment "
                 f"(got experiment {args.experiment!r})"
             )
     if args.quick and args.experiment not in ("robustness-study", "verify"):
@@ -274,6 +332,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if card.all_shapes_hold else 1
     elif args.experiment == "robustness-study":
         return _run_robustness_study(args, workers)
+    elif args.experiment == "campaign":
+        return _run_campaign(args)
     elif args.experiment == "profile":
         from repro.experiments.hotpath import profile_reference
         _, report = profile_reference(seed=args.seed)
@@ -353,6 +413,80 @@ def _run_robustness_study(args, workers) -> int:
             json_module.dump(result.to_json(), handle, indent=2,
                              sort_keys=True)
             handle.write("\n")
+    return 0
+
+
+def _run_campaign(args) -> int:
+    """``repro campaign``: the sharded population-scale campaign engine.
+
+    Stdout (the report table) and ``--json`` output are deterministic —
+    seeded sessions, integer columnar folds, canonical merge order — so
+    they diff clean across worker counts and kill/resume.  Wall-clock
+    throughput and peak memory go to stderr only.
+    """
+    import dataclasses
+    import json as json_module
+    import time
+
+    from repro import profiling
+    from repro.campaign import (
+        AnalyticModel,
+        CampaignConfig,
+        CampaignError,
+        run_campaign,
+    )
+    from repro.web.workload import PopulationConfig
+
+    population_overrides = {}
+    if args.max_objects is not None:
+        population_overrides["max_objects"] = args.max_objects
+    if args.count_exponent is not None:
+        population_overrides["count_exponent"] = args.count_exponent
+    if args.size_exponent is not None:
+        population_overrides["size_exponent"] = args.size_exponent
+    try:
+        population = dataclasses.replace(
+            PopulationConfig(), **population_overrides
+        )
+        config = CampaignConfig(
+            sessions=args.sessions if args.sessions is not None else 100_000,
+            shard_size=(
+                args.shard_size if args.shard_size is not None else 2_000
+            ),
+            seed=args.seed,
+            mode=args.mode or "analytic",
+            population=population,
+            model=AnalyticModel(),
+        )
+    except ValueError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    try:
+        result = run_campaign(
+            config,
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    except CampaignError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+    print(result.render())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json_module.dump(result.to_json(), handle, indent=2,
+                             sort_keys=True)
+            handle.write("\n")
+    rate = result.summary.sessions / elapsed if elapsed > 0 else 0.0
+    print(
+        f"repro campaign: {result.summary.sessions} sessions in "
+        f"{elapsed:.1f}s ({rate:,.0f}/s), {result.shards} shards, "
+        f"{result.workers} worker(s), "
+        f"{result.resumed_shards} shard(s) resumed, peak RSS "
+        f"{profiling.peak_rss_kb():,} KB",
+        file=sys.stderr,
+    )
     return 0
 
 

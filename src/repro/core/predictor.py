@@ -31,6 +31,23 @@ RECORD_OVERHEAD = 29
 #: fields of repro.h2.server.H2Server.response_headers, HPACK-coded).
 RESPONSE_HEADERS_WIRE = 120
 
+#: Default server DATA chunking granularity the adversary calibrates.
+DEFAULT_CHUNK_BYTES = 2048
+
+
+def expected_wire_payload(
+    body_bytes: int, chunk_bytes: int = DEFAULT_CHUNK_BYTES
+) -> int:
+    """Expected on-wire TCP payload of one serialized response.
+
+    The framing model shared by :class:`SizePredictor` and the
+    campaign engine's analytic evaluator: DATA chunking, HTTP/2 frame
+    headers, TLS record overhead, plus the response HEADERS frame.
+    """
+    frames = max(1, math.ceil(body_bytes / chunk_bytes))
+    data_wire = body_bytes + frames * (FRAME_HEADER + RECORD_OVERHEAD)
+    return data_wire + RESPONSE_HEADERS_WIRE
+
 
 @dataclass(frozen=True)
 class Match:
@@ -51,7 +68,7 @@ class SizePredictor:
     def __init__(
         self,
         size_map: Dict[str, int],
-        chunk_bytes: int = 2048,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         tolerance_abs: int = 350,
         tolerance_rel: float = 0.05,
     ) -> None:
@@ -78,9 +95,7 @@ class SizePredictor:
 
     def expected_payload(self, body_bytes: int) -> int:
         """Expected on-wire TCP payload of a serialized response."""
-        frames = max(1, math.ceil(body_bytes / self.chunk_bytes))
-        data_wire = body_bytes + frames * (FRAME_HEADER + RECORD_OVERHEAD)
-        return data_wire + RESPONSE_HEADERS_WIRE
+        return expected_wire_payload(body_bytes, self.chunk_bytes)
 
     def expected_for(self, object_id: str) -> int:
         """Expected payload for a known object.

@@ -449,6 +449,7 @@ def run_trial(
             client.tcp.retransmitted_segments
             + sum(conn.tcp.retransmitted_segments for conn in server.connections),
         )
+        profiler.gauge_max("mem.peak_rss_kb", profiling.peak_rss_kb())
 
     return TrialResult(
         trial=trial,

@@ -45,15 +45,16 @@ def symbol_code_bits(char: str) -> int:
     return _PRINTABLE_CODE_BITS.get(char, _NON_PRINTABLE_CODE_BITS)
 
 
-@lru_cache(maxsize=4096)
 def huffman_encoded_length(text: str) -> int:
     """Octets the Huffman coding of ``text`` occupies (EOS-padded).
 
-    Header strings repeat heavily across the requests of a page load
-    (method, scheme, paths, cookie), so results are memoized.  The dict
-    lookup is inlined rather than routed through
-    :func:`symbol_code_bits`, which would re-validate the single-char
-    invariant for every character of every string.
+    Deliberately *not* memoized: the only hot caller is
+    :func:`string_literal_length`, whose own ``lru_cache`` already
+    short-circuits repeated strings — so a cache here can never hit
+    (``BENCH_hotpath.json`` recorded 0 hits over 117 misses before it
+    was removed).  The dict lookup is inlined rather than routed
+    through :func:`symbol_code_bits`, which would re-validate the
+    single-char invariant for every character of every string.
     """
     get = _PRINTABLE_CODE_BITS.get
     default = _NON_PRINTABLE_CODE_BITS

@@ -29,22 +29,26 @@ profile with the default serial executor.
 from __future__ import annotations
 
 import json
+import sys
 import time
+import tracemalloc
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional
 
 
 class Profiler:
-    """Accumulates named counters and wall-clock timers.
+    """Accumulates named counters, wall-clock timers and gauges.
 
     Counters are plain integers (``events``, ``packets`` …); timers are
     cumulative seconds per named section.  Both merge additively across
-    trials, so one profiler can span a whole sweep.
+    trials, so one profiler can span a whole sweep.  Gauges are
+    high-water marks (peak RSS, tracemalloc peak) merged by ``max``.
     """
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
         self.timers: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
 
     # -- accumulation --------------------------------------------------
 
@@ -55,6 +59,11 @@ class Profiler:
     def add_time(self, name: str, seconds: float) -> None:
         """Add ``seconds`` to the named timer."""
         self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise the named high-water gauge to at least ``value``."""
+        if value > self.gauges.get(name, float("-inf")):
+            self.gauges[name] = value
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -71,6 +80,8 @@ class Profiler:
             self.count(name, amount)
         for name, seconds in other.timers.items():
             self.add_time(name, seconds)
+        for name, value in other.gauges.items():
+            self.gauge_max(name, value)
 
     # -- reporting -----------------------------------------------------
 
@@ -86,12 +97,16 @@ class Profiler:
         }
 
     def snapshot(self) -> Dict[str, Any]:
-        """Plain-data view (counters, timers, rates) for JSON output."""
+        """Plain-data view (counters, timers, gauges, rates) for JSON."""
         return {
             "counters": dict(sorted(self.counters.items())),
             "timers_s": {
                 name: round(seconds, 6)
                 for name, seconds in sorted(self.timers.items())
+            },
+            "gauges": {
+                name: round(value, 1)
+                for name, value in sorted(self.gauges.items())
             },
             "rates": {
                 name: round(value, 1) for name, value in self.rates().items()
@@ -114,6 +129,10 @@ class Profiler:
             lines.append("counters:")
             for name, amount in sorted(self.counters.items()):
                 lines.append(f"  {name:<28} {amount:>10}")
+        if self.gauges:
+            lines.append("gauges:")
+            for name, value in sorted(self.gauges.items()):
+                lines.append(f"  {name:<28} {value:>10.0f}")
         rates = self.rates()
         if rates:
             lines.append("throughput:")
@@ -168,16 +187,71 @@ def profiled(profiler: Optional[Profiler] = None) -> Iterator[Profiler]:
         _active = previous
 
 
-def hpack_cache_counters() -> Dict[str, int]:
-    """Hit/miss statistics of the memoized HPACK sizing functions."""
-    from repro.hpack.huffman import huffman_encoded_length, string_literal_length
+def peak_rss_kb(include_children: bool = False) -> int:
+    """Peak resident set size of this process, in kibibytes.
 
-    counters: Dict[str, int] = {}
-    for name, func in (
-        ("hpack.huffman_length", huffman_encoded_length),
-        ("hpack.literal_length", string_literal_length),
-    ):
-        info = func.cache_info()
-        counters[f"{name}.hits"] = info.hits
-        counters[f"{name}.misses"] = info.misses
-    return counters
+    A high-water mark maintained by the kernel (``ru_maxrss``), so
+    reading it costs one syscall and never perturbs the hot path.
+    With ``include_children``, the max over *waited-for* child
+    processes (spawn workers the pool has joined) is folded in —
+    the figure that bounds a multi-worker campaign.
+
+    Returns 0 on platforms without :mod:`resource` (Windows).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    scale = 1024 if sys.platform == "darwin" else 1  # macOS reports bytes
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // scale
+    if include_children:
+        children = (
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss // scale
+        )
+        peak = max(peak, children)
+    return int(peak)
+
+
+@contextmanager
+def traced_memory() -> Iterator[Dict[str, float]]:
+    """Trace Python-heap allocations for a ``with`` block.
+
+    Yields a dict that, after the block exits, holds
+    ``tracemalloc_peak_kb`` — the peak traced allocation in KiB.
+    Tracing slows allocation noticeably, so callers keep it out of
+    wall-clock-timed sections (the hot-path bench runs one *extra*
+    traced pass after its timed repetitions).  Nests safely: if
+    tracemalloc is already running, the outer trace is left running.
+    """
+    gauges: Dict[str, float] = {}
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        yield gauges
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        if not already_tracing:
+            tracemalloc.stop()
+        gauges["tracemalloc_peak_kb"] = round(peak / 1024.0, 1)
+        profiler = active()
+        if profiler is not None:
+            profiler.gauge_max("mem.tracemalloc_peak_kb", peak / 1024.0)
+
+
+def hpack_cache_counters() -> Dict[str, int]:
+    """Hit/miss statistics of the memoized HPACK sizing functions.
+
+    Only :func:`~repro.hpack.huffman.string_literal_length` carries a
+    cache: its inner helper ``huffman_encoded_length`` is shielded by
+    it (every repeated string short-circuits in the outer cache), so a
+    cache there could never hit and was removed.
+    """
+    from repro.hpack.huffman import string_literal_length
+
+    info = string_literal_length.cache_info()
+    return {
+        "hpack.literal_length.hits": info.hits,
+        "hpack.literal_length.misses": info.misses,
+    }

@@ -19,6 +19,7 @@ from typing import List, Optional, Tuple
 from repro.simkernel.randomstream import RandomStreams
 from repro.web.objects import WebObject
 from repro.web.site import LoadSchedule, ScheduledRequest, Website
+from repro.web.workload import PageSpec
 
 #: Content-type mix of a typical page (type, extension, size range).
 _OBJECT_CLASSES: Tuple[Tuple[str, str, Tuple[int, int]], ...] = (
@@ -120,6 +121,62 @@ def generate_site(
     website = Website("generated", [target] + objects)
 
     # Schedule: a pre-flow, then the target, then the embedded burst.
+    shuffled = rng.shuffled("schedule-order", objects)
+    pre_count = min(4, len(shuffled) // 4)
+    requests: List[ScheduledRequest] = []
+    for obj in shuffled[:pre_count]:
+        requests.append(
+            ScheduledRequest(rng.uniform("pre-gap", 0.02, 0.3), obj)
+        )
+    requests.append(
+        ScheduledRequest(rng.uniform("target-gap", 0.3, 0.6), target)
+    )
+    for obj in shuffled[pre_count:]:
+        gap = burst_gap if rng.stream("burstiness").random() < 0.8 else 0.02
+        requests.append(ScheduledRequest(gap, obj))
+    return GeneratedSite(
+        website=website,
+        schedule=LoadSchedule(requests),
+        target_object_id="target",
+    )
+
+
+def generate_site_from_spec(
+    rng: RandomStreams,
+    spec: PageSpec,
+    burst_gap: float = 0.0008,
+) -> GeneratedSite:
+    """Materialise a population :class:`~repro.web.workload.PageSpec`.
+
+    The campaign engine's full-simulation mode turns the plain spec
+    (body sizes only) into a servable :class:`Website` with the same
+    schedule shape as :func:`generate_site`: a short pre-flow, the
+    dynamic target, then the embedded burst.  Object sizes come from
+    the spec verbatim — the spec *is* the ground truth — while content
+    types, ordering and gaps are drawn from ``rng`` exactly like the
+    generated-site path.
+    """
+    target = WebObject(
+        "/page/result.html",
+        spec.target_size,
+        "text/html",
+        object_id="target",
+        think_time_range=(0.060, 0.320),
+    )
+    objects: List[WebObject] = []
+    for index, size in enumerate(spec.object_sizes):
+        content_type, extension, _ = _OBJECT_CLASSES[
+            index % len(_OBJECT_CLASSES)
+        ]
+        objects.append(
+            WebObject(
+                f"/assets/obj{index:03d}.{extension}",
+                size,
+                content_type,
+                think_time_range=_STATIC_THINK,
+            )
+        )
+    website = Website(f"population-{spec.session}", [target] + objects)
     shuffled = rng.shuffled("schedule-order", objects)
     pre_count = min(4, len(shuffled) // 4)
     requests: List[ScheduledRequest] = []

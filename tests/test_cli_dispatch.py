@@ -26,6 +26,15 @@ BAD_COMBOS = [
     (["table1", "--update-golden"], "--update-golden"),
     (["delay", "--only", "fig1"], "--only"),
     (["verify", "--trial", "0"], "--trial"),
+    (["table1", "--sessions", "100"], "--sessions"),
+    (["fig1", "--shard-size", "50"], "--shard-size"),
+    (["attack", "--mode", "analytic"], "--mode"),
+    (["verify", "--checkpoint-dir", "ck"], "--checkpoint-dir"),
+    (["table2", "--max-objects", "32"], "--max-objects"),
+    (["baseline", "--count-exponent", "0.9"], "--count-exponent"),
+    (["fig6", "--size-exponent", "1.1"], "--size-exponent"),
+    (["campaign", "--trial", "0"], "--trial"),
+    (["campaign", "--levels", "0.5"], "--levels"),
 ]
 
 
@@ -53,6 +62,13 @@ def test_coherent_scoped_flags_pass_validation():
     cli._validate_args(parser, args)
     args = parser.parse_args(["verify", "--quick", "--only", "fig1",
                               "--update-golden"])
+    cli._validate_args(parser, args)
+    args = parser.parse_args(
+        ["campaign", "--sessions", "1000", "--shard-size", "100",
+         "--mode", "analytic", "--checkpoint-dir", "ck",
+         "--max-objects", "48", "--count-exponent", "0.8",
+         "--size-exponent", "1.2", "--json", "out.json"]
+    )
     cli._validate_args(parser, args)
 
 
@@ -102,6 +118,22 @@ def test_robustness_study_smoke(capsys):
                                 "--trials", "1", "--workers", "1"])
     assert code == 0
     assert out.strip()
+
+
+def test_campaign_smoke(capsys, tmp_path):
+    json_path = tmp_path / "campaign.json"
+    code = cli.main(["campaign", "--sessions", "300", "--shard-size", "100",
+                     "--workers", "1", "--json", str(json_path)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "campaign" in captured.out
+    assert "sessions in" in captured.err
+    assert "peak RSS" in captured.err
+    import json
+
+    payload = json.loads(json_path.read_text())
+    assert payload["campaign"]["sessions"] == 300
+    assert payload["summary"]["counts"]["sessions"] == 300
 
 
 @pytest.mark.slow

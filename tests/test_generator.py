@@ -4,7 +4,8 @@ import pytest
 
 from repro.experiments.generalization import run_generated_trial
 from repro.simkernel.randomstream import RandomStreams
-from repro.web.generator import generate_site
+from repro.web.generator import generate_site, generate_site_from_spec
+from repro.web.workload import PopulationWorkload
 
 
 def test_generate_site_shape():
@@ -53,6 +54,34 @@ def test_generate_site_dense_population_terminates():
 
 def test_generate_site_target_mid_schedule():
     site = generate_site(RandomStreams(5), object_count=20)
+    index = site.schedule.index_of("target")
+    assert 0 < index < len(site.schedule) - 1
+
+
+def test_generate_site_from_spec_sizes_verbatim():
+    spec = PopulationWorkload(seed=6).page_spec(0)
+    site = generate_site_from_spec(RandomStreams(1), spec)
+    assert len(site.website) == spec.object_count + 1
+    assert site.target_size == spec.target_size
+    sizes = sorted(
+        obj.size for obj in site.website.objects.values()
+        if obj.object_id != "target"
+    )
+    assert sizes == sorted(spec.object_sizes)  # spec is the ground truth
+
+
+def test_generate_site_from_spec_reproducible():
+    spec = PopulationWorkload(seed=6).page_spec(7)
+    first = generate_site_from_spec(RandomStreams(9), spec)
+    second = generate_site_from_spec(RandomStreams(9), spec)
+    assert [r.obj.path for r in first.schedule] == \
+        [r.obj.path for r in second.schedule]
+    assert first.website.size_map() == second.website.size_map()
+
+
+def test_generate_site_from_spec_target_mid_schedule():
+    spec = PopulationWorkload(seed=6).page_spec(2)
+    site = generate_site_from_spec(RandomStreams(3), spec)
     index = site.schedule.index_of("target")
     assert 0 < index < len(site.schedule) - 1
 

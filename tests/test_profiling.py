@@ -60,6 +60,53 @@ def test_merge_is_additive():
     assert first.timers["trial.simulate"] == pytest.approx(1.5)
 
 
+def test_gauges_keep_high_water_mark():
+    profiler = profiling.Profiler()
+    profiler.gauge_max("mem.peak_rss_kb", 100.0)
+    profiler.gauge_max("mem.peak_rss_kb", 50.0)
+    assert profiler.gauges["mem.peak_rss_kb"] == 100.0
+    other = profiling.Profiler()
+    other.gauge_max("mem.peak_rss_kb", 250.0)
+    profiler.merge(other)
+    assert profiler.gauges["mem.peak_rss_kb"] == 250.0
+    assert json.loads(profiler.to_json())["gauges"] == {
+        "mem.peak_rss_kb": 250.0
+    }
+    assert "gauges:" in profiler.render()
+
+
+def test_peak_rss_is_positive_and_monotone():
+    first = profiling.peak_rss_kb()
+    assert first > 0
+    ballast = bytearray(8 << 20)  # 8 MiB high-water bump
+    second = profiling.peak_rss_kb()
+    del ballast
+    assert second >= first
+    assert profiling.peak_rss_kb(include_children=True) >= second
+
+
+def test_traced_memory_reports_python_heap_peak():
+    with profiling.profiled() as profiler:
+        with profiling.traced_memory() as traced:
+            ballast = bytearray(4 << 20)
+            del ballast
+    assert traced["tracemalloc_peak_kb"] >= 4096
+    assert profiler.gauges["mem.tracemalloc_peak_kb"] >= 4096
+
+
+def test_traced_memory_nests_without_stopping_outer_trace():
+    import tracemalloc
+
+    with profiling.traced_memory() as outer:
+        with profiling.traced_memory() as inner:
+            ballast = bytearray(1 << 20)
+            del ballast
+        assert tracemalloc.is_tracing()  # inner exit must not stop it
+    assert not tracemalloc.is_tracing()
+    assert inner["tracemalloc_peak_kb"] >= 1024
+    assert outer["tracemalloc_peak_kb"] >= 0
+
+
 def test_rates_derive_from_simulate_time():
     profiler = profiling.Profiler()
     assert profiler.rates() == {}
@@ -125,6 +172,7 @@ def test_harness_populates_profiler():
     assert profiler.timers["trial.simulate"] > 0.0
     assert profiler.timers["trial.setup"] >= 0.0
     assert profiler.timers["trial.collect"] >= 0.0
+    assert profiler.gauges["mem.peak_rss_kb"] > 0
 
 
 def test_profile_reference_covers_both_slices():
