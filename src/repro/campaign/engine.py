@@ -55,6 +55,7 @@ from repro.experiments.executor import (
     TrialExecutor,
 )
 from repro.experiments.report import format_table
+from repro.fastpath import BACKEND_ENV, resolve_backend
 from repro.web.workload import PageSpec, PopulationConfig, PopulationWorkload
 
 #: Session engines accepted by :class:`CampaignConfig`.
@@ -351,27 +352,48 @@ class ShardTask:
     The returned value is the summary's plain-integer JSON dict, which
     the executor's checkpoint persists verbatim — so a resumed campaign
     reads back exactly the bytes a completed shard produced.
+
+    ``backend`` selects the execution strategy, never the result: the
+    ``fast`` analytic path runs the shard through the numpy batch
+    kernel (:func:`repro.fastpath.analytic.evaluate_shard_analytic`),
+    which folds to a bit-identical summary; in ``full`` mode it turns
+    on simulator event batching via the environment instead.
     """
 
     config: CampaignConfig
+    backend: str = "python"
 
     def __call__(self, shard: int) -> Dict[str, Any]:
         config = self.config
         workload = PopulationWorkload(
             seed=config.seed, config=config.population
         )
+        span = config.shard_range(shard)
+        if config.mode == "analytic" and self.backend == "fast":
+            from repro.fastpath.analytic import evaluate_shard_analytic
+
+            summary = evaluate_shard_analytic(
+                workload, span.start, span.stop, config.model
+            )
+            return summary.to_json()
         summary = ColumnarSummary()
         full = config.mode == "full"
-        for session in config.shard_range(shard):
+        if full and self.backend == "fast":
+            # The packet-level engine reads the backend from the
+            # environment when building its Simulator (event batching).
+            os.environ[BACKEND_ENV] = "fast"
+        for session in span:
             spec = workload.page_spec(session)
-            rng = workload.session_rng(session)
             if full:
                 outcome = evaluate_page_full(
-                    spec, rng, config.model, horizon=config.horizon
+                    spec,
+                    workload.session_rng(session),
+                    config.model,
+                    horizon=config.horizon,
                 )
             else:
                 outcome = evaluate_page_analytic(
-                    spec, rng.stream("analytic"), config.model
+                    spec, workload.analytic_stream(session), config.model
                 )
             summary.fold_session(**outcome)
             # Nothing from this session survives: spec, rng and outcome
@@ -399,6 +421,10 @@ class CampaignResult:
     shards: int
     workers: int
     resumed_shards: int = 0
+    #: Execution strategy the run used.  Deliberately *excluded* from
+    #: to_json()/render(): backends are bit-identical, so reports and
+    #: checkpoints must not differ by backend.
+    backend: str = "python"
 
     def digest(self) -> str:
         """Digest of the merged summary — the bit-identity handle."""
@@ -473,6 +499,7 @@ def run_campaign(
     workers: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     retries: int = 1,
+    backend: Optional[str] = None,
 ) -> CampaignResult:
     """Run (or resume) a campaign and merge its shards.
 
@@ -485,6 +512,10 @@ def run_campaign(
             resumes from it; the merged output is bit-identical whether
             or not the run was interrupted.
         retries: same-seed retries per failed shard (checkpointed runs).
+        backend: execution strategy (argument → ``REPRO_BACKEND`` →
+            ``python``).  ``fast`` runs analytic shards through the
+            numpy batch kernel; results are bit-identical either way,
+            so checkpoints are shareable across backends.
 
     Returns:
         The merged :class:`CampaignResult`.
@@ -492,8 +523,9 @@ def run_campaign(
     Raises:
         CampaignError: when a shard exhausted its retries.
     """
+    resolved_backend = resolve_backend(backend)
     executor = TrialExecutor(workers=workers)
-    task = ShardTask(config)
+    task = ShardTask(config, backend=resolved_backend)
     fault_tolerance = None
     resumed = 0
     if checkpoint_dir:
@@ -523,4 +555,5 @@ def run_campaign(
         shards=config.shard_count,
         workers=executor.workers,
         resumed_shards=resumed,
+        backend=resolved_backend,
     )

@@ -20,6 +20,7 @@ execution; results are bit-identical for any worker count.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -61,6 +62,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "worker processes for trial execution (default: the "
             "REPRO_WORKERS environment variable, else 1 = serial); "
             "results are identical for any worker count"
+        ),
+    )
+    parser.add_argument(
+        "--backend", choices=["python", "fast"], default=None,
+        help=(
+            "execution backend (default: the REPRO_BACKEND environment "
+            "variable, else python): `fast` vectorizes analytic campaign "
+            "shards with numpy and batches homogeneous simulator event "
+            "runs; all outputs are bit-identical across backends"
         ),
     )
     robustness = parser.add_argument_group(
@@ -231,6 +241,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     _validate_args(parser, args)
+
+    if args.backend is not None:
+        # Export the choice so spawned campaign workers, experiment
+        # subprocesses and env-resolving constructors all inherit it.
+        from repro.fastpath import BACKEND_ENV
+
+        os.environ[BACKEND_ENV] = args.backend
 
     if args.experiment == "verify":
         return _run_verify(args)
@@ -467,6 +484,7 @@ def _run_campaign(args) -> int:
             config,
             workers=args.workers,
             checkpoint_dir=args.checkpoint_dir,
+            backend=args.backend,
         )
     except CampaignError as error:
         print(f"repro: {error}", file=sys.stderr)
@@ -482,7 +500,7 @@ def _run_campaign(args) -> int:
     print(
         f"repro campaign: {result.summary.sessions} sessions in "
         f"{elapsed:.1f}s ({rate:,.0f}/s), {result.shards} shards, "
-        f"{result.workers} worker(s), "
+        f"{result.backend} backend, {result.workers} worker(s), "
         f"{result.resumed_shards} shard(s) resumed, peak RSS "
         f"{profiling.peak_rss_kb():,} KB",
         file=sys.stderr,

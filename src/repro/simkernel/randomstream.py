@@ -15,6 +15,91 @@ from typing import Dict, List, Sequence, TypeVar
 
 T = TypeVar("T")
 
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+#: Weyl-sequence increment of SplitMix64 (the golden-ratio constant).
+SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+_MIX_MULT_1 = 0xBF58476D1CE4E5B9
+_MIX_MULT_2 = 0x94D049BB133111EB
+#: Exact power of two: scaling a 53-bit integer by it is lossless, so
+#: the scalar and vectorized paths produce the identical double.
+_RECIP_2_53 = 1.0 / 9007199254740992.0
+
+
+def mix64(value: int) -> int:
+    """SplitMix64's finalizer: avalanche one 64-bit value.
+
+    Pure 64-bit integer arithmetic (no platform-dependent state), so a
+    numpy ``uint64`` kernel computes the identical value — the property
+    the vectorized fast backend's bit-identity rests on.
+    """
+    z = value & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX_MULT_1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX_MULT_2) & _MASK64
+    return z ^ (z >> 31)
+
+
+def counter_stream_base(master_seed: int, name: str) -> int:
+    """Stable 64-bit base of a named counter-stream family.
+
+    The name is hashed once (sha256, like :class:`RandomStreams`) and
+    mixed with the master seed; per-index seeds then derive from the
+    base arithmetically via :func:`counter_stream_seed`, which is what
+    lets a batch kernel derive thousands of session seeds in a couple
+    of array operations.
+    """
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    label = int.from_bytes(digest[:8], "big")
+    return mix64((int(master_seed) & _MASK64) ^ label)
+
+
+def counter_stream_seed(base: int, index: int) -> int:
+    """The seed of stream ``index`` within a counter-stream family."""
+    return mix64((base + (index + 1) * SPLITMIX_GAMMA) & _MASK64)
+
+
+class CounterStream:
+    """A counter-based (SplitMix64) random substream.
+
+    Unlike the Mersenne-Twister streams of :class:`RandomStreams`,
+    draw ``i`` is a *closed-form* function of ``(seed, i)``::
+
+        output_i = mix64(seed + i * SPLITMIX_GAMMA)
+
+    so a vectorized backend can compute any draw of any stream without
+    sequential state — the property that makes the campaign engine's
+    numpy fast path bit-identical to this scalar implementation.  The
+    interface mirrors the ``random.Random`` subset the analytic
+    campaign path consumes (``random``/``randint``).
+
+    ``randint`` maps a 64-bit draw onto the span by modulo; the bias is
+    ``span / 2**64`` (immeasurable for the byte-scale spans used here)
+    and, unlike rejection sampling, every draw consumes exactly one
+    counter tick — which keeps draw indices data-independent.
+    """
+
+    __slots__ = ("seed", "_index")
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed) & _MASK64
+        self._index = 0
+
+    def _next64(self) -> int:
+        self._index += 1
+        return mix64((self.seed + self._index * SPLITMIX_GAMMA) & _MASK64)
+
+    def random(self) -> float:
+        """Uniform double in [0, 1) built from the top 53 bits."""
+        return (self._next64() >> 11) * _RECIP_2_53
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] (one counter tick, modulo map)."""
+        if high < low:
+            raise ValueError(f"empty randint range [{low}, {high}]")
+        return low + self._next64() % (high - low + 1)
+
+    def __repr__(self) -> str:
+        return f"CounterStream(seed={self.seed:#x}, index={self._index})"
+
 
 class RandomStreams:
     """A factory of independent ``random.Random`` substreams."""

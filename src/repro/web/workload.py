@@ -21,7 +21,12 @@ import bisect
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
-from repro.simkernel.randomstream import RandomStreams
+from repro.simkernel.randomstream import (
+    CounterStream,
+    RandomStreams,
+    counter_stream_base,
+    counter_stream_seed,
+)
 from repro.web.isidewith import IsideWithSite, PARTIES, build_isidewith_site
 
 
@@ -191,21 +196,72 @@ class PopulationWorkload:
             self.config.max_objects,
             self.config.count_exponent,
         )
+        # Per-index stream seeds are mix64 functions of these bases, so
+        # a batch kernel derives a whole shard's seeds arithmetically.
+        self._page_base = counter_stream_base(self.seed, "population/pagegen")
+        self._analytic_base = counter_stream_base(
+            self.seed, "population/analytic"
+        )
+        # Nominal rank sizes depend only on the config; precomputing the
+        # full support once removes ``**`` from the per-page loop and
+        # guarantees scalar and vectorized paths read identical floats.
+        self._nominal = tuple(
+            self.config.head_bytes * rank ** -self.config.size_exponent
+            for rank in range(1, self.config.max_objects + 1)
+        )
+
+    @property
+    def count_cdf(self) -> Tuple[float, ...]:
+        """Cumulative zipf table of the object-count draw (rank order)."""
+        return tuple(self._count_sampler._cdf)
+
+    @property
+    def nominal_sizes(self) -> Tuple[float, ...]:
+        """Nominal (pre-jitter) object size of each rank, largest first."""
+        return self._nominal
+
+    @property
+    def page_stream_base(self) -> int:
+        """Counter-stream family base of the page-generation draws."""
+        return self._page_base
+
+    @property
+    def analytic_stream_base(self) -> int:
+        """Counter-stream family base of the analytic-evaluator draws."""
+        return self._analytic_base
 
     def session_rng(self, session: int) -> RandomStreams:
-        """The independent random substream tree for one session."""
+        """The independent random substream tree for one session.
+
+        Mersenne-Twister streams, used only by ``full``-mode campaigns
+        (the packet-level simulator draws far more than the fixed-count
+        page/analytic draws below).
+        """
         return self._master.spawn(f"page-{session}")
+
+    def page_stream(self, session: int) -> CounterStream:
+        """The counter-based page-generation stream of one session."""
+        return CounterStream(counter_stream_seed(self._page_base, session))
+
+    def analytic_stream(self, session: int) -> CounterStream:
+        """The counter-based analytic-evaluator stream of one session."""
+        return CounterStream(
+            counter_stream_seed(self._analytic_base, session)
+        )
 
     def page_spec(self, session: int) -> PageSpec:
         """Build the (deterministic) page spec for one session."""
         config = self.config
-        stream = self.session_rng(session).stream("pagegen")
+        stream = self.page_stream(session)
         count = self._count_sampler.sample(stream)
+        nominal = self._nominal
+        jitter_scale = config.size_jitter
+        floor = config.min_object_bytes
         sizes = []
-        for rank in range(1, count + 1):
-            nominal = config.head_bytes * rank ** -config.size_exponent
-            jitter = 1.0 + config.size_jitter * (2.0 * stream.random() - 1.0)
-            sizes.append(max(config.min_object_bytes, round(nominal * jitter)))
+        for rank in range(count):
+            jitter = 1.0 + jitter_scale * (2.0 * stream.random() - 1.0)
+            size = round(nominal[rank] * jitter)
+            sizes.append(size if size > floor else floor)
         target_size = stream.randint(*config.target_range)
         return PageSpec(
             session=session,

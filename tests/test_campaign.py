@@ -250,12 +250,28 @@ def test_campaign_config_validation_and_shards():
                                              shard_size=100).digest()
 
 
-def test_campaign_serial_matches_parallel():
+@pytest.mark.parametrize("backend", ["python", "fast"])
+def test_campaign_serial_matches_parallel(backend):
     config = CampaignConfig(sessions=600, shard_size=100, seed=19)
-    serial = run_campaign(config, workers=1)
-    parallel = run_campaign(config, workers=2)
+    serial = run_campaign(config, workers=1, backend=backend)
+    parallel = run_campaign(config, workers=2, backend=backend)
     assert serial.digest() == parallel.digest()
     assert serial.to_json() == parallel.to_json()
+
+
+def test_campaign_backends_bit_identical():
+    # The vectorized backend must reproduce the scalar engine's bytes
+    # exactly — same digest, same JSON — on a population large enough
+    # to exercise miscount hits, ambiguous pages and zero-error ties.
+    config = CampaignConfig(sessions=2_000, shard_size=250, seed=19)
+    python = run_campaign(config, backend="python")
+    fast = run_campaign(config, backend="fast")
+    assert python.digest() == fast.digest()
+    assert python.to_json() == fast.to_json()
+    assert python.backend == "python" and fast.backend == "fast"
+    # The backend tag is deliberately not part of the payload: reports
+    # and checkpoints stay interchangeable between backends.
+    assert "backend" not in python.to_json()
 
 
 def test_campaign_shard_size_never_changes_totals():
@@ -266,13 +282,16 @@ def test_campaign_shard_size_never_changes_totals():
     assert coarse.summary.to_json() == fine.summary.to_json()
 
 
-def test_campaign_checkpoint_resume_bit_identical(tmp_path):
+@pytest.mark.parametrize("backend", ["python", "fast"])
+def test_campaign_checkpoint_resume_bit_identical(tmp_path, backend):
     config = CampaignConfig(sessions=500, shard_size=50, seed=29)
     reference = run_campaign(config)
 
     # A full checkpointed run produces the reference bytes...
     checkpoint_dir = tmp_path / "checkpoints"
-    complete = run_campaign(config, checkpoint_dir=str(checkpoint_dir))
+    complete = run_campaign(
+        config, checkpoint_dir=str(checkpoint_dir), backend=backend
+    )
     assert complete.digest() == reference.digest()
 
     # ...then simulate a kill after 3 shards by truncating the
@@ -284,7 +303,9 @@ def test_campaign_checkpoint_resume_bit_identical(tmp_path):
     payload["results"] = {key: payload["results"][key] for key in survivors}
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle)
-    resumed = run_campaign(config, checkpoint_dir=str(checkpoint_dir))
+    resumed = run_campaign(
+        config, checkpoint_dir=str(checkpoint_dir), backend=backend
+    )
     assert resumed.resumed_shards == 3
     assert resumed.digest() == reference.digest()
     assert resumed.to_json() == reference.to_json()

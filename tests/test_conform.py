@@ -73,11 +73,25 @@ def test_select_experiments_profiles():
     assert golden.select_experiments(only=["table1"]) == ["table1"]
 
 
-def test_golden_fig1_matches_checked_in():
+@pytest.mark.parametrize("backend", ["python", "fast"])
+def test_golden_fig1_matches_checked_in(monkeypatch, backend):
+    # Both backends must reproduce the checked-in capture: the fast
+    # backend's event-run batching is exactness-preserving, so golden
+    # masters are backend-invariant.
+    monkeypatch.setenv("REPRO_BACKEND", backend)
     captures, section = golden.run_checks(["fig1"])
     assert section.passed, "\n" + section.render()
     assert golden.digest(captures["fig1"]) == \
         golden.load_golden()["fig1"]["sha256"]
+
+
+@pytest.mark.parametrize("backend", ["python", "fast"])
+def test_golden_table1_matches_checked_in(monkeypatch, backend):
+    monkeypatch.setenv("REPRO_BACKEND", backend)
+    captures, section = golden.run_checks(["table1"])
+    assert section.passed, "\n" + section.render()
+    assert golden.digest(captures["table1"]) == \
+        golden.load_golden()["table1"]["sha256"]
 
 
 def test_single_byte_perturbation_fails_naming_experiment(monkeypatch):

@@ -1,0 +1,288 @@
+"""Vectorized backend: scalar/vector equivalence and event batching.
+
+Two independent exactness surfaces back the ``fast`` backend's
+bit-identity claim:
+
+* **analytic kernel** — Hypothesis drives random :class:`PageSpec`s
+  (including shapes the zipf population never generates, like
+  zero-object pages) through both the scalar
+  :func:`~repro.campaign.engine.evaluate_page_analytic` and the numpy
+  :func:`~repro.fastpath.analytic.evaluate_pages_analytic` and demands
+  identical fold kwargs, value for value;
+* **event-run batching** — unit tests pin the simulator's homogeneous
+  run machinery to per-event dispatch semantics: run collection,
+  cancelled-member skipping, heap-head abort/requeue, and the
+  compaction-rebind regression (a cancellation storm inside a run used
+  to leave the order check reading a dead heap list).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.engine import AnalyticModel, evaluate_page_analytic
+from repro.fastpath import (
+    BACKEND_ENV,
+    fast_backend_active,
+    resolve_backend,
+)
+from repro.fastpath.analytic import (
+    counter_seeds,
+    evaluate_pages_analytic,
+    evaluate_shard_analytic,
+    generate_pages,
+)
+from repro.simkernel.randomstream import (
+    CounterStream,
+    counter_stream_seed,
+)
+from repro.simkernel.simulator import Simulator
+from repro.web.workload import PageSpec, PopulationConfig, PopulationWorkload
+
+
+# -- Backend resolution --------------------------------------------------
+
+
+def test_resolve_backend_precedence(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    assert resolve_backend() == "python"
+    assert not fast_backend_active()
+    monkeypatch.setenv(BACKEND_ENV, "fast")
+    assert resolve_backend() == "fast"
+    assert fast_backend_active()
+    # An explicit argument wins over the environment.
+    assert resolve_backend("python") == "python"
+    assert resolve_backend(" Fast ") == "fast"
+    with pytest.raises(ValueError, match="hyperdrive"):
+        resolve_backend("hyperdrive")
+
+
+# -- Scalar vs. vector analytic equivalence ------------------------------
+
+
+MODELS = [
+    AnalyticModel(),
+    AnalyticModel(record_miscount_rate=1.0, noise_bytes=0),
+    AnalyticModel(tolerance_abs=0, tolerance_rel=0.0, serialize_slope=0.1),
+]
+
+page_specs = st.builds(
+    PageSpec,
+    session=st.integers(0, 2**20),
+    object_sizes=st.tuples() | st.lists(
+        st.integers(1, 5_000_000), min_size=1, max_size=12
+    ).map(tuple),
+    target_size=st.integers(1, 5_000_000),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    specs=st.lists(page_specs, min_size=1, max_size=6),
+    seeds=st.lists(st.integers(0, 2**64 - 1), min_size=6, max_size=6),
+    model=st.sampled_from(MODELS),
+)
+def test_evaluate_pages_analytic_matches_scalar(specs, seeds, model):
+    seeds = seeds[: len(specs)]
+    batch = evaluate_pages_analytic(specs, seeds, model)
+    for spec, seed, fold in zip(specs, seeds, batch):
+        expected = evaluate_page_analytic(spec, CounterStream(seed), model)
+        assert fold == expected, spec
+
+
+def test_generate_pages_matches_page_spec():
+    workload = PopulationWorkload(seed=123)
+    start, stop = 40, 300
+    pages = generate_pages(workload, start, stop)
+    cursor = 0
+    for row, session in enumerate(range(start, stop)):
+        spec = workload.page_spec(session)
+        count = int(pages["counts"][row])
+        assert count == spec.object_count
+        flat = pages["sizes"][cursor:cursor + count]
+        assert tuple(int(size) for size in flat) == spec.object_sizes
+        assert (pages["session_of"][cursor:cursor + count] == row).all()
+        assert int(pages["targets"][row]) == spec.target_size
+        cursor += count
+    assert cursor == len(pages["sizes"])
+
+
+def test_evaluate_shard_analytic_matches_scalar_fold():
+    config = PopulationConfig(min_objects=1, max_objects=8)
+    workload = PopulationWorkload(seed=77, config=config)
+    model = AnalyticModel()
+    fast = evaluate_shard_analytic(workload, 0, 500, model)
+
+    from repro.campaign.columnar import ColumnarSummary
+
+    scalar = ColumnarSummary()
+    for session in range(500):
+        spec = workload.page_spec(session)
+        stream = workload.analytic_stream(session)
+        scalar.fold_session(**evaluate_page_analytic(spec, stream, model))
+    assert fast.to_json() == scalar.to_json()
+
+
+def test_counter_stream_seed_vectorization():
+    import numpy as np
+
+    base = 0x1234_5678_9ABC_DEF0
+    indices = np.arange(0, 64, dtype=np.uint64)
+    vector = counter_seeds(base, indices)
+    for index in range(64):
+        assert int(vector[index]) == counter_stream_seed(base, index)
+
+
+# -- Event-run batching --------------------------------------------------
+
+
+class _Key:
+    """Batch key recording delivery order."""
+
+    def __init__(self, sim=None):
+        self.delivered = []
+        self._sim = sim
+
+    def deliver(self, payload):
+        self.delivered.append(payload)
+
+
+def test_batchable_events_run_without_batching():
+    # Batching off: batchable events dispatch one-by-one, same order.
+    sim = Simulator(batching=False)
+    key = _Key()
+    for index in range(5):
+        sim.schedule_batch(0.001 * index, key, index)
+    sim.run()
+    assert key.delivered == [0, 1, 2, 3, 4]
+    assert sim.batch_runs == 0 and sim.batched_events == 0
+
+
+def test_homogeneous_run_batches_and_counts():
+    sim = Simulator(batching=True)
+    key = _Key()
+    for index in range(5):
+        sim.schedule_batch(0.001, key, index)
+    sim.schedule(0.002, lambda: None)
+    sim.run()
+    assert key.delivered == [0, 1, 2, 3, 4]
+    assert sim.batch_runs == 1
+    assert sim.batched_events == 5
+    assert sim.events_executed == 6
+
+
+def test_run_aborts_when_member_schedules_earlier_event():
+    # The first delivery schedules a plain event that must fire before
+    # the rest of the run; the unexecuted suffix is requeued with its
+    # original keys and the global time/priority order is preserved.
+    sim = Simulator(batching=True)
+
+    class CallKey:
+        @staticmethod
+        def deliver(payload):
+            payload()
+
+    key = CallKey()
+    order = []
+
+    def first_payload():
+        order.append("first")
+        sim.schedule(0.0005, lambda: order.append("interleaved"))
+
+    sim.schedule_batch(0.001, key, first_payload)
+    sim.schedule_batch(0.002, key, lambda: order.append("second"))
+    sim.schedule_batch(0.002, key, lambda: order.append("third"))
+    sim.run()
+    assert order == ["first", "interleaved", "second", "third"]
+
+
+def test_cancelled_run_member_is_skipped():
+    # A member's callback cancels a later member mid-run: the cancelled
+    # event must not be delivered (and not requeued either).
+    sim = Simulator(batching=True)
+
+    class CallKey:
+        @staticmethod
+        def deliver(payload):
+            payload()
+
+    key = CallKey()
+    order = []
+    events = []
+
+    def cancel_third():
+        order.append("first")
+        events[2].cancel()
+
+    events.append(sim.schedule_batch(0.001, key, cancel_third))
+    events.append(
+        sim.schedule_batch(0.001, key, lambda: order.append("second"))
+    )
+    events.append(
+        sim.schedule_batch(0.001, key, lambda: order.append("third"))
+    )
+    sim.run()
+    assert order == ["first", "second"]
+    assert sim.pending_events == 0
+
+
+def test_run_survives_compaction_rebind():
+    # Regression: a cancellation storm inside a run member triggers
+    # EventQueue._compact(), which rebinds the heap list.  The run
+    # executor must re-read the heap for its order check — a stale
+    # reference made it compare against dead state and dispatch events
+    # out of order.
+    sim = Simulator(batching=True)
+
+    class CallKey:
+        @staticmethod
+        def deliver(payload):
+            payload()
+
+    key = CallKey()
+    order = []
+    victims = []
+
+    def cancel_storm():
+        order.append("storm")
+        for event in victims:
+            event.cancel()
+        # Schedule something earlier than the remaining run members so
+        # the (post-compaction) order check must fire.
+        sim.schedule(0.0005, lambda: order.append("interleaved"))
+
+    # A large cancelled population forces compaction when the storm
+    # cancels them (compaction triggers when cancelled > half).
+    for index in range(64):
+        victims.append(sim.schedule(0.010, lambda: order.append("victim")))
+    sim.schedule_batch(0.001, key, cancel_storm)
+    sim.schedule_batch(0.002, key, lambda: order.append("late"))
+    sim.run()
+    assert order == ["storm", "interleaved", "late"]
+
+
+def test_timer_batching_preserves_cancellation(monkeypatch):
+    # Timers under the fast backend go through the shared run key;
+    # restarting and cancelling must behave exactly as per-event.
+    from repro.simkernel.timers import Timer
+
+    sim = Simulator(batching=True)
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now), name="rto")
+    timer.start(0.5)
+    timer.start(1.0)  # restart supersedes the first deadline
+    other = Timer(sim, lambda: fired.append(-1.0))
+    other.start(1.0)
+    other.cancel()
+    sim.run()
+    assert fired == [1.0]
+    assert not timer.armed
+
+
+def test_simulator_resolves_backend_from_env(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "fast")
+    assert Simulator().batching is True
+    monkeypatch.setenv(BACKEND_ENV, "python")
+    assert Simulator().batching is False
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    assert Simulator().batching is False
