@@ -1,0 +1,224 @@
+#!/usr/bin/env python
+"""CI smoke test for the campaign supervisor's recovery contract.
+
+One end-to-end gauntlet, stdlib only, subprocess-driven like a real
+operator session:
+
+A. A clean ``repro campaign`` reference run (no checkpoint).
+B. The same campaign with ``--checkpoint-dir``, SIGKILLed once the
+   shard checkpoint holds at least two completed shards.
+C. The surviving checkpoint is then **byte-corrupted** (one flipped
+   byte mid-file) — the worst case on top of the kill.
+D. The resume runs with ``--failure-manifest``: it must quarantine the
+   corrupt file to a ``.corrupt`` sidecar, recompute cleanly, produce
+   JSON identical to the uninterrupted reference, and leave a manifest
+   that validates against the failure-manifest schema.
+
+Exit code 0 only if every assertion holds.  The manifest is left at
+``--manifest-out`` for upload as a CI artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SESSIONS = 30_000
+SHARD_SIZE = 1_500
+MIN_SHARDS_BEFORE_KILL = 2
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    env.setdefault("REPRO_BACKOFF", "0")
+    return env
+
+
+def _campaign_command(json_out, checkpoint_dir=None, manifest=None,
+                      workers=2):
+    command = [
+        sys.executable, "-m", "repro", "campaign",
+        "--sessions", str(SESSIONS), "--shard-size", str(SHARD_SIZE),
+        "--seed", "7", "--workers", str(workers),
+        "--json", json_out,
+    ]
+    if checkpoint_dir:
+        command += ["--checkpoint-dir", checkpoint_dir]
+    if manifest:
+        command += ["--failure-manifest", manifest]
+    return command
+
+
+def _run(command, timeout):
+    completed = subprocess.run(
+        command, cwd=REPO_ROOT, env=_env(), timeout=timeout,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    print(completed.stdout)
+    print(completed.stderr, file=sys.stderr)
+    if completed.returncode != 0:
+        raise SystemExit(
+            f"FAIL: {' '.join(command)} exited {completed.returncode}"
+        )
+    return completed
+
+
+def _load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _checkpoint_file(checkpoint_dir):
+    paths = glob.glob(os.path.join(checkpoint_dir, "campaign-*.json"))
+    return paths[0] if paths else None
+
+
+def _checkpoint_shards(checkpoint_dir):
+    path = _checkpoint_file(checkpoint_dir)
+    if path is None:
+        return 0
+    try:
+        return len(_load(path).get("results", {}))
+    except (ValueError, OSError):
+        return 0  # mid-replace; retry next poll
+
+
+def phase_reference(workdir, timeout):
+    print("== Phase A: reference run ==", flush=True)
+    reference_path = os.path.join(workdir, "reference.json")
+    _run(_campaign_command(reference_path), timeout)
+    return _load(reference_path)
+
+
+def phase_kill(workdir, timeout):
+    print("== Phase B: SIGKILL the campaign mid-run ==", flush=True)
+    out_path = os.path.join(workdir, "killed.json")
+    checkpoint_dir = os.path.join(workdir, "checkpoints")
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    process = subprocess.Popen(
+        _campaign_command(out_path, checkpoint_dir=checkpoint_dir),
+        cwd=REPO_ROOT, env=_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    completed_before_kill = 0
+    deadline = time.monotonic() + timeout
+    while process.poll() is None and time.monotonic() < deadline:
+        completed_before_kill = _checkpoint_shards(checkpoint_dir)
+        if completed_before_kill >= MIN_SHARDS_BEFORE_KILL:
+            process.send_signal(signal.SIGKILL)
+            break
+        time.sleep(0.1)
+    process.wait(timeout=30)
+    if completed_before_kill < MIN_SHARDS_BEFORE_KILL:
+        raise SystemExit(
+            "FAIL: campaign finished before the checkpoint held "
+            f"{MIN_SHARDS_BEFORE_KILL} shards to interrupt (nothing was "
+            "tested) — lower SHARD_SIZE or raise SESSIONS"
+        )
+    print(
+        f"killed campaign with {completed_before_kill} shard(s) "
+        "checkpointed", flush=True,
+    )
+    return checkpoint_dir
+
+
+def phase_corrupt(checkpoint_dir):
+    print("== Phase C: corrupt the surviving checkpoint ==", flush=True)
+    path = _checkpoint_file(checkpoint_dir)
+    if path is None:
+        raise SystemExit("FAIL: no checkpoint file survived the kill")
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    offset = len(blob) // 2
+    blob[offset] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+    print(f"flipped byte {offset} of {os.path.basename(path)}", flush=True)
+    return path
+
+
+def phase_resume(workdir, checkpoint_dir, corrupted_path, reference,
+                 manifest_out, timeout):
+    print("== Phase D: resume over the corrupted checkpoint ==", flush=True)
+    out_path = os.path.join(workdir, "recovered.json")
+    completed = _run(
+        _campaign_command(out_path, checkpoint_dir=checkpoint_dir,
+                          manifest=manifest_out),
+        timeout,
+    )
+    sidecar = corrupted_path + ".corrupt"
+    if not os.path.exists(sidecar):
+        raise SystemExit(
+            "FAIL: corrupted checkpoint was not quarantined to "
+            f"{sidecar}"
+        )
+    if "quarantined checkpoint" not in completed.stderr:
+        raise SystemExit("FAIL: quarantine warning missing from stderr")
+    result = _load(out_path)
+    if result != reference:
+        raise SystemExit(
+            "FAIL: recovered output differs from the uninterrupted "
+            "reference"
+        )
+
+    manifest = _load(manifest_out)
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.campaign import validate_manifest
+
+    try:
+        validate_manifest(manifest)
+    except ValueError as error:
+        raise SystemExit(f"FAIL: manifest invalid: {error}") from None
+    if manifest["status"] != "complete":
+        raise SystemExit(
+            f"FAIL: manifest status {manifest['status']!r}, expected "
+            "'complete' (the resume recovered fully)"
+        )
+    if manifest["quarantined_checkpoints"] != [sidecar]:
+        raise SystemExit("FAIL: manifest missing the quarantine record")
+    print(
+        "phase D OK: quarantined, recomputed bit-identically, manifest "
+        "valid", flush=True,
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workdir", default="chaos_smoke",
+        help="directory for checkpoints and JSON outputs",
+    )
+    parser.add_argument(
+        "--manifest-out", default="chaos_smoke_manifest.json",
+        help="where to leave the failure manifest (CI artifact)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="per-phase wall-clock budget in seconds",
+    )
+    args = parser.parse_args()
+
+    workdir = os.path.abspath(args.workdir)
+    manifest_out = os.path.abspath(args.manifest_out)
+    os.makedirs(workdir, exist_ok=True)
+    reference = phase_reference(workdir, args.timeout)
+    checkpoint_dir = phase_kill(workdir, args.timeout)
+    corrupted_path = phase_corrupt(checkpoint_dir)
+    phase_resume(workdir, checkpoint_dir, corrupted_path, reference,
+                 manifest_out, args.timeout)
+    print(f"chaos smoke passed; failure manifest at {manifest_out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,14 @@ from repro.campaign.engine import (
     checkpoint_path,
     run_campaign,
 )
+from repro.campaign.supervisor import (
+    MANIFEST_SCHEMA,
+    MANIFEST_VERSION,
+    build_manifest,
+    render_shard_errors,
+    validate_manifest,
+    write_manifest,
+)
 
 __all__ = [
     "AnalyticModel",
@@ -29,8 +37,14 @@ __all__ = [
     "CampaignError",
     "CampaignResult",
     "ColumnarSummary",
+    "MANIFEST_SCHEMA",
+    "MANIFEST_VERSION",
     "ShardTask",
+    "build_manifest",
     "checkpoint_path",
     "merge_summaries",
+    "render_shard_errors",
     "run_campaign",
+    "validate_manifest",
+    "write_manifest",
 ]

@@ -40,8 +40,9 @@ from __future__ import annotations
 import hashlib
 import math
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.campaign.columnar import ColumnarSummary, merge_summaries
 from repro.core.predictor import (
@@ -53,6 +54,7 @@ from repro.experiments.executor import (
     FaultTolerance,
     TrialError,
     TrialExecutor,
+    heartbeat,
 )
 from repro.experiments.report import format_table
 from repro.fastpath import BACKEND_ENV, resolve_backend
@@ -369,6 +371,7 @@ class ShardTask:
             seed=config.seed, config=config.population
         )
         span = config.shard_range(shard)
+        heartbeat()  # shard started (no-op outside supervised workers)
         if config.mode == "analytic" and self.backend == "fast":
             from repro.fastpath.analytic import evaluate_shard_analytic
 
@@ -383,6 +386,7 @@ class ShardTask:
             # environment when building its Simulator (event batching).
             os.environ[BACKEND_ENV] = "fast"
         for session in span:
+            heartbeat()  # per-session progress beat (throttled)
             spec = workload.page_spec(session)
             if full:
                 outcome = evaluate_page_full(
@@ -402,19 +406,39 @@ class ShardTask:
 
 
 class CampaignError(RuntimeError):
-    """A shard exhausted its retries; the campaign total would be wrong."""
+    """A shard exhausted its retries; the campaign total would be wrong.
 
-    def __init__(self, errors: List[TrialError]) -> None:
+    Raised only when ``allow_partial`` is off.  ``errors`` carries the
+    structured per-shard records (kind, attempts, history) and
+    ``manifest_path`` names the failure manifest, when one was written,
+    so callers can point operators at the full accounting.
+    """
+
+    def __init__(
+        self,
+        errors: List[TrialError],
+        manifest_path: Optional[str] = None,
+    ) -> None:
         shards = ", ".join(str(error.trial) for error in errors)
-        super().__init__(
-            f"{len(errors)} shard(s) failed after retries: {shards}"
-        )
+        message = f"{len(errors)} shard(s) failed after retries: {shards}"
+        if manifest_path:
+            message += f" (failure manifest: {manifest_path})"
+        super().__init__(message)
         self.errors = errors
+        self.manifest_path = manifest_path
 
 
 @dataclass
 class CampaignResult:
-    """Merged campaign output plus run metadata."""
+    """Merged campaign output plus run metadata.
+
+    A result is *partial* when ``errors`` is non-empty (only possible
+    with ``allow_partial=True``): the summary then covers exactly the
+    completed shards, and the coverage accounting — completed vs failed
+    vs deadline-skipped shards, sessions covered — is part of the JSON
+    and the rendered table.  A full-coverage result serializes byte-for-
+    byte as before, so goldens never see the degraded fields.
+    """
 
     config: CampaignConfig
     summary: ColumnarSummary
@@ -425,15 +449,59 @@ class CampaignResult:
     #: to_json()/render(): backends are bit-identical, so reports and
     #: checkpoints must not differ by backend.
     backend: str = "python"
+    #: Shards that did not complete (empty on a full-coverage run).
+    errors: List[TrialError] = field(default_factory=list)
+    #: Checkpoint files quarantined on resume (``.corrupt`` sidecars).
+    quarantined: List[str] = field(default_factory=list)
+    #: Failure-manifest path, when one was written.
+    manifest_path: Optional[str] = None
 
     def digest(self) -> str:
         """Digest of the merged summary — the bit-identity handle."""
         return self.summary.digest()
 
-    def to_json(self) -> Dict[str, Any]:
-        """Deterministic JSON (no wall-clock state; safe to diff)."""
-        summary = self.summary
+    @property
+    def partial(self) -> bool:
+        """Whether coverage is degraded (some shards did not complete)."""
+        return bool(self.errors)
+
+    @property
+    def failed_shards(self) -> List[TrialError]:
+        return [e for e in self.errors if e.kind != "deadline"]
+
+    @property
+    def skipped_shards(self) -> List[TrialError]:
+        return [e for e in self.errors if e.kind == "deadline"]
+
+    @property
+    def sessions_covered(self) -> int:
+        missing = sum(
+            len(self.config.shard_range(e.trial)) for e in self.errors
+        )
+        return self.config.sessions - missing
+
+    def coverage(self) -> Dict[str, Any]:
+        """The coverage accounting block (stable, deterministic)."""
         return {
+            "completed_shards": self.shards - len(self.errors),
+            "failed_shards": len(self.failed_shards),
+            "skipped_shards": len(self.skipped_shards),
+            "sessions_total": self.config.sessions,
+            "sessions_covered": self.sessions_covered,
+            "error_kinds": sorted(
+                {e.kind for e in self.errors}
+            ),
+            "shards": sorted(e.trial for e in self.errors),
+        }
+
+    def to_json(self) -> Dict[str, Any]:
+        """Deterministic JSON (no wall-clock state; safe to diff).
+
+        The ``coverage`` block appears only on a partial result, so a
+        clean default-path run's bytes are unchanged.
+        """
+        summary = self.summary
+        payload = {
             "campaign": {
                 "sessions": self.config.sessions,
                 "shard_size": self.config.shard_size,
@@ -451,9 +519,16 @@ class CampaignResult:
                 "ambiguous": round(summary.rate("ambiguous"), 6),
             },
         }
+        if self.partial:
+            payload["coverage"] = self.coverage()
+        return payload
 
     def render(self) -> str:
-        """The campaign report table (deterministic stdout)."""
+        """The campaign report table (deterministic stdout).
+
+        Coverage rows are appended only when the result is partial —
+        the full-coverage table is byte-identical to the golden form.
+        """
         summary = self.summary
         sessions = summary.sessions
         rows = [
@@ -474,6 +549,25 @@ class CampaignResult:
             ["ambiguous pages", f"{100.0 * summary.rate('ambiguous'):.1f}%"],
             ["summary digest", summary.digest()[:16]],
         ]
+        if self.partial:
+            covered = self.sessions_covered
+            rows.extend([
+                [
+                    "coverage (PARTIAL)",
+                    f"{covered}/{self.config.sessions} sessions "
+                    f"({100.0 * covered / self.config.sessions:.1f}%)",
+                ],
+                [
+                    "failed shards",
+                    ", ".join(str(e.trial) for e in self.failed_shards)
+                    or "—",
+                ],
+                [
+                    "skipped shards (deadline)",
+                    ", ".join(str(e.trial) for e in self.skipped_shards)
+                    or "—",
+                ],
+            ])
         return format_table(
             ["campaign", "value"], rows,
             title=(
@@ -494,14 +588,24 @@ def checkpoint_path(config: CampaignConfig, checkpoint_dir: str) -> str:
     )
 
 
+#: Default base seconds of the deterministic retry backoff between
+#: same-seed shard retries (``REPRO_BACKOFF`` overrides; 0 disables).
+DEFAULT_BACKOFF_BASE = 0.05
+
+
 def run_campaign(
     config: CampaignConfig,
     workers: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     retries: int = 1,
     backend: Optional[str] = None,
+    allow_partial: bool = False,
+    deadline: Optional[float] = None,
+    heartbeat_timeout: Optional[float] = None,
+    failure_manifest: Optional[str] = None,
+    shard_task: Optional[Callable[[int], Dict[str, Any]]] = None,
 ) -> CampaignResult:
-    """Run (or resume) a campaign and merge its shards.
+    """Run (or resume) a campaign under supervision and merge its shards.
 
     Args:
         config: the campaign parameters.
@@ -510,44 +614,115 @@ def run_campaign(
         checkpoint_dir: when set, completed shard summaries stream into
             a JSON checkpoint there and a re-run with the same config
             resumes from it; the merged output is bit-identical whether
-            or not the run was interrupted.
-        retries: same-seed retries per failed shard (checkpointed runs).
+            or not the run was interrupted.  A corrupted, truncated or
+            foreign checkpoint found on resume is quarantined to a
+            ``.corrupt`` sidecar and its shards recomputed cleanly.
+        retries: same-seed retries per failed shard.
         backend: execution strategy (argument → ``REPRO_BACKEND`` →
             ``python``).  ``fast`` runs analytic shards through the
             numpy batch kernel; results are bit-identical either way,
             so checkpoints are shareable across backends.
+        allow_partial: instead of raising :class:`CampaignError` when
+            shards exhaust their retries, return a partial
+            :class:`CampaignResult` with explicit coverage accounting.
+        deadline: wall-clock budget in seconds for the whole campaign;
+            shards unfinished at expiry are recorded as skipped
+            (``kind="deadline"``), never persisted, so a later resume
+            completes them.
+        heartbeat_timeout: hung-shard watchdog — a supervised worker
+            silent for longer than this is killed and retried.
+        failure_manifest: when set, a machine-readable JSON manifest
+            (see :mod:`repro.campaign.supervisor`) is written there on
+            *every* supervised outcome — complete, partial or failed —
+            with per-shard attempt history and quarantine records.
+        shard_task: chaos-injection hook — replaces the default
+            :class:`ShardTask`; must compute bit-identical summaries
+            (the chaos harness wraps the real task with fault triggers).
 
     Returns:
-        The merged :class:`CampaignResult`.
+        The merged :class:`CampaignResult` (partial only with
+        ``allow_partial=True``).
 
     Raises:
-        CampaignError: when a shard exhausted its retries.
+        CampaignError: when a shard exhausted its retries and
+            ``allow_partial`` is off.
     """
+    from repro.campaign import supervisor
+
+    started = time.perf_counter()
     resolved_backend = resolve_backend(backend)
     executor = TrialExecutor(workers=workers)
-    task = ShardTask(config, backend=resolved_backend)
+    task = (
+        shard_task if shard_task is not None
+        else ShardTask(config, backend=resolved_backend)
+    )
+    supervised = (
+        bool(checkpoint_dir) or allow_partial or deadline is not None
+        or heartbeat_timeout is not None
+    )
     fault_tolerance = None
     resumed = 0
+    quarantined: List[str] = []
     if checkpoint_dir:
         os.makedirs(checkpoint_dir, exist_ok=True)
         path = checkpoint_path(config, checkpoint_dir)
         if os.path.exists(path):
             from repro.experiments.executor import Checkpoint
 
-            resumed = len(Checkpoint(path))
+            existing = Checkpoint(path, config_digest=config.digest())
+            resumed = len(existing)
+            if existing.quarantined:
+                quarantined.append(existing.quarantined)
+    if supervised:
         fault_tolerance = FaultTolerance(
-            retries=retries, checkpoint_path=path, checkpoint_every=1
+            retries=retries,
+            checkpoint_path=(
+                checkpoint_path(config, checkpoint_dir)
+                if checkpoint_dir else None
+            ),
+            checkpoint_every=1,
+            checkpoint_digest=config.digest(),
+            deadline=deadline,
+            heartbeat_timeout=heartbeat_timeout,
+            backoff_base=DEFAULT_BACKOFF_BASE,
+            backoff_seed=config.digest(),
         )
     outcomes = executor.map_trials(
         config.shard_count, task, fault_tolerance=fault_tolerance
     )
     errors = [item for item in outcomes if isinstance(item, TrialError)]
-    if errors:
-        raise CampaignError(errors)
+    checkpoint = executor.last_checkpoint
+    write_error = checkpoint.write_error if checkpoint is not None else None
+    if checkpoint is not None and checkpoint.quarantined:
+        if checkpoint.quarantined not in quarantined:
+            quarantined.append(checkpoint.quarantined)
+
+    manifest_path = None
+    if failure_manifest:
+        status = (
+            "complete" if not errors
+            else ("partial" if allow_partial else "failed")
+        )
+        manifest = supervisor.build_manifest(
+            config, errors,
+            status=status,
+            quarantined=quarantined,
+            checkpoint_write_error=write_error,
+            elapsed_s=time.perf_counter() - started,
+            workers=executor.workers,
+            resumed_shards=resumed,
+        )
+        supervisor.write_manifest(failure_manifest, manifest)
+        manifest_path = failure_manifest
+
+    if errors and not allow_partial:
+        raise CampaignError(errors, manifest_path=manifest_path)
     # map_trials returns in shard-index order, so this left fold is the
     # canonical merge order regardless of which worker finished first.
     summary = merge_summaries(
-        ColumnarSummary.from_json(payload) for payload in outcomes
+        ColumnarSummary.from_json(payload)
+        for payload in outcomes
+        if not isinstance(payload, TrialError)
     )
     return CampaignResult(
         config=config,
@@ -556,4 +731,7 @@ def run_campaign(
         workers=executor.workers,
         resumed_shards=resumed,
         backend=resolved_backend,
+        errors=errors,
+        quarantined=quarantined,
+        manifest_path=manifest_path,
     )

@@ -1,0 +1,44 @@
+"""Chaos harness: prove the campaign supervisor's recovery contract.
+
+A reproduction whose numbers are only right when nothing goes wrong is
+fragile in exactly the way long campaigns are not allowed to be.  This
+package injects real faults into the execution layer — killed workers,
+corrupted and torn checkpoints, checkpoint writers hitting ``ENOSPC``,
+stalled shards, expired deadlines — and asserts that every scenario
+ends in one of the two sanctioned outcomes: a bit-identical recovered
+digest, or a well-formed partial result with a validating failure
+manifest.
+
+Run it from the CLI (``python -m repro chaos [--quick] [--scenario
+NAME]``); ``repro verify`` includes the quick subset in its matrix.
+"""
+
+from repro.chaos.inject import (
+    corrupt_byte,
+    failing_checkpoint_writes,
+    truncate_bytes,
+)
+from repro.chaos.scenarios import (
+    QUICK_SCENARIOS,
+    SCENARIOS,
+    ChaosShardTask,
+    ScenarioResult,
+    render_results,
+    run_scenario,
+    run_scenarios,
+    verify_section,
+)
+
+__all__ = [
+    "ChaosShardTask",
+    "QUICK_SCENARIOS",
+    "SCENARIOS",
+    "ScenarioResult",
+    "corrupt_byte",
+    "failing_checkpoint_writes",
+    "render_results",
+    "run_scenario",
+    "run_scenarios",
+    "truncate_bytes",
+    "verify_section",
+]

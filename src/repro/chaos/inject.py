@@ -1,0 +1,87 @@
+"""Fault injectors: the primitives the chaos scenarios are built from.
+
+Each injector perturbs exactly one seam of the execution layer —
+checkpoint writes (injected ``OSError``), checkpoint files on disk
+(byte corruption, byte truncation) — and is deterministic given its
+arguments, so a chaos run replays identically.  Process-level faults
+(SIGKILL, stalls) live in :mod:`repro.chaos.scenarios` because they
+must travel into spawned workers as part of the shard task.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import os
+from typing import Dict, Iterator
+
+from repro.experiments.executor import set_flush_fault_hook
+
+
+@contextlib.contextmanager
+def failing_checkpoint_writes(
+    failures: int = 1, error_code: int = errno.ENOSPC
+) -> Iterator[Dict[str, int]]:
+    """Make the next ``failures`` checkpoint flushes raise ``OSError``.
+
+    Installs the executor's flush fault hook for the duration of the
+    block (process-local — meaningful for serial supervised runs, where
+    the checkpoint writer lives in this process).  The default error is
+    ``ENOSPC``: the disk-full case a long campaign is most likely to
+    hit mid-run.  Yields a state dict whose ``raised`` count says how
+    many faults actually fired.
+    """
+    if failures < 1:
+        raise ValueError("failures must be >= 1")
+    state = {"remaining": failures, "raised": 0}
+
+    def hook() -> None:
+        if state["remaining"] > 0:
+            state["remaining"] -= 1
+            state["raised"] += 1
+            raise OSError(error_code, os.strerror(error_code))
+
+    set_flush_fault_hook(hook)
+    try:
+        yield state
+    finally:
+        set_flush_fault_hook(None)
+
+
+def corrupt_byte(path: str, seed: int = 0) -> int:
+    """Flip one byte of ``path`` in place at a seeded offset.
+
+    The offset lands in the middle third of the file, so it hits the
+    checkpoint's payload rather than only the leading/trailing braces.
+    Any single-byte flip must trip the integrity seal: either the JSON
+    no longer parses, or the payload no longer matches its embedded
+    SHA-256.  Returns the flipped offset.
+    """
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    if not blob:
+        raise ValueError(f"cannot corrupt empty file {path!r}")
+    third = max(1, len(blob) // 3)
+    offset = third + seed % third
+    blob[offset] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+    return offset
+
+
+def truncate_bytes(path: str, fraction: float = 0.6) -> int:
+    """Cut ``path`` to a fraction of its bytes (a torn, non-atomic write).
+
+    Unlike :meth:`~repro.experiments.executor.Checkpoint.truncate`
+    (which drops whole results and re-seals), this leaves invalid JSON
+    behind — the shape a genuinely interrupted ``write()`` would have
+    produced without the temp-file/rename protocol.  Returns the new
+    byte length.
+    """
+    if not 0 <= fraction < 1:
+        raise ValueError("fraction must be in [0, 1)")
+    size = os.path.getsize(path)
+    kept = int(size * fraction)
+    with open(path, "r+b") as handle:
+        handle.truncate(kept)
+    return kept

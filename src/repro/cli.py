@@ -39,11 +39,12 @@ def _build_parser() -> argparse.ArgumentParser:
             "baseline", "table1", "table2", "fig1", "fig5", "fig6",
             "delay", "ablations", "attack", "trigger", "streaming",
             "partialmux", "generalization", "fingerprint", "scorecard",
-            "profile", "robustness-study", "verify", "campaign",
+            "profile", "robustness-study", "verify", "campaign", "chaos",
         ],
         help="which paper experiment to run (`verify` for the "
              "conformance & golden-master harness, `campaign` for the "
-             "population-scale sharded campaign engine)",
+             "population-scale sharded campaign engine, `chaos` for the "
+             "fault-injection recovery scenarios)",
     )
     parser.add_argument(
         "--trials", type=int, default=25,
@@ -143,6 +144,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--size-exponent", type=float, default=None,
         help="rank-size exponent of object sizes (default 1.1)",
     )
+    campaign.add_argument(
+        "--allow-partial", action="store_true",
+        help="when shards exhaust their retries, return a partial result "
+             "with explicit coverage accounting (exit code 3) instead of "
+             "failing the run",
+    )
+    campaign.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole campaign; shards unfinished "
+             "at expiry are skipped (resumable from the checkpoint later)",
+    )
+    campaign.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="SECONDS",
+        help="hung-shard watchdog: kill and retry a supervised worker "
+             "whose shard has been silent for this long",
+    )
+    campaign.add_argument(
+        "--failure-manifest", type=str, default=None, metavar="PATH",
+        help="write a machine-readable JSON failure manifest here on "
+             "every supervised outcome (complete, partial or failed)",
+    )
+    chaos = parser.add_argument_group(
+        "chaos options",
+        "fault-injection recovery scenarios (`repro chaos`)",
+    )
+    chaos.add_argument(
+        "--scenario", type=str, default=None, metavar="NAMES",
+        help="comma-separated chaos scenario names to run (default: all; "
+             "--quick runs the fast CI subset)",
+    )
     verify = parser.add_argument_group(
         "verify options",
         "conformance vectors, golden masters and the determinism matrix",
@@ -212,6 +243,10 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
         ("--max-objects", args.max_objects is not None),
         ("--count-exponent", args.count_exponent is not None),
         ("--size-exponent", args.size_exponent is not None),
+        ("--allow-partial", args.allow_partial),
+        ("--deadline", args.deadline is not None),
+        ("--heartbeat-timeout", args.heartbeat_timeout is not None),
+        ("--failure-manifest", args.failure_manifest is not None),
     )
     for flag, given in campaign_only:
         if given and args.experiment != "campaign":
@@ -219,9 +254,16 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
                 f"{flag} only applies to the campaign experiment "
                 f"(got experiment {args.experiment!r})"
             )
-    if args.quick and args.experiment not in ("robustness-study", "verify"):
+    if args.scenario is not None and args.experiment != "chaos":
         parser.error(
-            f"--quick only applies to robustness-study and verify "
+            f"--scenario only applies to chaos "
+            f"(got experiment {args.experiment!r})"
+        )
+    if args.quick and args.experiment not in (
+        "robustness-study", "verify", "chaos"
+    ):
+        parser.error(
+            f"--quick only applies to robustness-study, verify and chaos "
             f"(got experiment {args.experiment!r})"
         )
     verify_only = (
@@ -251,6 +293,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.experiment == "verify":
         return _run_verify(args)
+    if args.experiment == "chaos":
+        return _run_chaos(args)
 
     from repro.experiments.executor import resolve_workers
     try:
@@ -440,6 +484,9 @@ def _run_campaign(args) -> int:
     seeded sessions, integer columnar folds, canonical merge order — so
     they diff clean across worker counts and kill/resume.  Wall-clock
     throughput and peak memory go to stderr only.
+
+    Exit codes: 0 full coverage, 1 failed (per-shard error table on
+    stderr), 2 bad arguments, 3 partial coverage (``--allow-partial``).
     """
     import dataclasses
     import json as json_module
@@ -450,6 +497,7 @@ def _run_campaign(args) -> int:
         AnalyticModel,
         CampaignConfig,
         CampaignError,
+        render_shard_errors,
         run_campaign,
     )
     from repro.web.workload import PopulationConfig
@@ -485,10 +533,18 @@ def _run_campaign(args) -> int:
             workers=args.workers,
             checkpoint_dir=args.checkpoint_dir,
             backend=args.backend,
+            allow_partial=args.allow_partial,
+            deadline=args.deadline,
+            heartbeat_timeout=args.heartbeat_timeout,
+            failure_manifest=args.failure_manifest,
         )
     except CampaignError as error:
+        print(render_shard_errors(config, error.errors), file=sys.stderr)
         print(f"repro: {error}", file=sys.stderr)
         return 1
+    except ValueError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - start
     print(result.render())
     if args.json_out:
@@ -505,7 +561,41 @@ def _run_campaign(args) -> int:
         f"{profiling.peak_rss_kb():,} KB",
         file=sys.stderr,
     )
+    if result.partial:
+        covered = result.sessions_covered
+        note = (
+            f"repro: warning: PARTIAL coverage — {covered}/"
+            f"{config.sessions} sessions, "
+            f"{len(result.failed_shards)} failed and "
+            f"{len(result.skipped_shards)} deadline-skipped shard(s)"
+        )
+        if result.manifest_path:
+            note += f"; failure manifest: {result.manifest_path}"
+        print(note, file=sys.stderr)
+        print(render_shard_errors(config, result.errors), file=sys.stderr)
+        return 3
     return 0
+
+
+def _run_chaos(args) -> int:
+    """``repro chaos``: run the fault-injection recovery scenarios."""
+    from repro.chaos import SCENARIOS, render_results, run_scenarios
+
+    names = None
+    if args.scenario:
+        names = [name for name in args.scenario.split(",") if name]
+        unknown = [name for name in names if name not in SCENARIOS]
+        if unknown:
+            print(
+                f"repro: unknown chaos scenario(s) {unknown}; "
+                f"available: {', '.join(SCENARIOS)}",
+                file=sys.stderr,
+            )
+            return 2
+    results = run_scenarios(names=names, quick=args.quick,
+                            backend=args.backend)
+    print(render_results(results))
+    return 0 if all(result.passed for result in results) else 1
 
 
 def _run_attack(trial: int, seed: int) -> None:

@@ -14,6 +14,12 @@ keep green:
 * :mod:`repro.conform.matrix` — the determinism matrix: every golden
   experiment re-run serial vs ``--workers 4`` vs
   checkpoint-kill-resume, asserting bit-identical stdout.
+* :mod:`repro.chaos` — the chaos supervision layer: injected faults
+  (corrupted/torn checkpoints, ``ENOSPC``, killed and stalled workers,
+  expired deadlines) must end in a bit-identical recovered digest or a
+  well-formed partial result with a validating failure manifest.
+  ``--quick`` runs the serial scenarios; the full profile adds the
+  process-fault ones.
 
 :func:`run_verify` runs the requested layers and returns a
 :class:`~repro.conform.report.VerifyReport`.
@@ -66,4 +72,10 @@ def run_verify(
     report.sections.append(
         matrix.run_checks(names, captures, quick=quick)
     )
+    if only is None:
+        # The chaos layer supervises campaigns, not individual golden
+        # experiments, so --only (an experiment filter) skips it.
+        from repro.chaos import verify_section
+
+        report.sections.append(verify_section(quick=quick))
     return report

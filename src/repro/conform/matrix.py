@@ -21,7 +21,6 @@ guarantee the CLI can assert on demand.
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 import time
@@ -32,6 +31,7 @@ from repro.conform.golden import EXPERIMENTS, capture
 from repro.conform.report import Section
 from repro.experiments.executor import (
     CHECKPOINT_DIR_ENV,
+    Checkpoint,
     reset_auto_checkpoint_calls,
 )
 
@@ -57,21 +57,12 @@ def _truncate_checkpoint(path: Path) -> int:
     """Drop the second half of a checkpoint's results (simulated kill).
 
     Returns how many results were kept.  An empty or missing file is
-    left alone — resume-from-nothing is just a full run.
+    left alone — resume-from-nothing is just a full run.  Delegates to
+    :meth:`Checkpoint.truncate`, which re-seals the file's integrity
+    digest — a raw JSON rewrite would trip the corruption quarantine,
+    which is the *chaos* harness's job to exercise, not the matrix's.
     """
-    if not path.exists():
-        return 0
-    with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
-    results = payload.get("results", {})
-    keep = {
-        key: results[key]
-        for key in sorted(results, key=int)[: len(results) // 2]
-    }
-    payload["results"] = keep
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, sort_keys=True)
-    return len(keep)
+    return Checkpoint.truncate(str(path))
 
 
 def _workers_cell(section: Section, name: str, reference: str) -> None:

@@ -47,6 +47,32 @@ one-process-per-trial dispatch and guarantees:
 Even without a :class:`FaultTolerance` policy, worker exceptions are
 wrapped as :class:`TrialExecutionError` so the failing trial index is
 never lost.
+
+Supervision extensions (campaign supervisor layer)
+--------------------------------------------------
+
+The policy also carries the knobs the campaign supervisor needs:
+
+* **checkpoint integrity** — checkpoint files embed a payload SHA-256
+  (and optionally the owning config's digest); a corrupted, truncated,
+  foreign or unversioned file found on resume is *quarantined* to a
+  ``<path>.corrupt`` sidecar and the run restarts those trials cleanly
+  instead of crashing.  :meth:`Checkpoint.flush` fsyncs both the temp
+  file and its directory before/after the atomic ``os.replace`` so a
+  power loss cannot tear the file either.
+* **deadline** — a wall-clock budget for the whole ``map_trials`` call;
+  once exhausted, no new trials launch, running ones are killed, and
+  every unfinished trial yields a :class:`TrialError` with
+  ``kind="deadline"`` (never persisted, so a later resume recomputes
+  them).
+* **heartbeat watchdog** — tasks report progress via :func:`heartbeat`;
+  with ``heartbeat_timeout`` set, a supervised worker that stays silent
+  longer than that is declared stalled (``kind="stalled"``), killed and
+  retried, even if its per-trial ``timeout`` has not expired.
+* **deterministic retry backoff** — the wait before a same-seed retry
+  is seeded from ``(backoff_seed, trial index, attempt)``, so
+  fault-tolerant reruns pause identically; ``REPRO_BACKOFF=0`` (the
+  test/CI default) disables waiting entirely.
 """
 
 from __future__ import annotations
@@ -96,6 +122,10 @@ CAPTURE_ENV = "REPRO_CAPTURE_WORKER_STDOUT"
 #: determinism matrix uses to kill-and-resume *any* experiment.
 CHECKPOINT_DIR_ENV = "REPRO_CHECKPOINT_DIR"
 
+#: Overrides the retry-backoff base for every policy when set: a float
+#: number of seconds, ``0`` disabling backoff waits entirely (tests/CI).
+BACKOFF_ENV = "REPRO_BACKOFF"
+
 _BACKENDS = ("serial", "process")
 
 #: Grace period between noticing a dead worker and declaring it crashed
@@ -104,6 +134,12 @@ _CRASH_GRACE = 1.0
 
 #: Supervision loop poll interval, seconds.
 _POLL_INTERVAL = 0.05
+
+#: Minimum spacing between heartbeat messages a worker emits.
+_HEARTBEAT_INTERVAL = 0.2
+
+#: Sentinel in a result tuple's ``ok`` slot marking a heartbeat.
+_HEARTBEAT = "heartbeat"
 
 
 @contextlib.contextmanager
@@ -132,6 +168,63 @@ def _silence_worker_stdout() -> None:
     """Worker-side half of :func:`capture_stdout` (spawn inherits env)."""
     if os.environ.get(CAPTURE_ENV):
         sys.stdout = io.StringIO()
+
+
+#: Worker-side heartbeat channel, set by :func:`_trial_worker`:
+#: ``(result_queue, trial_index, last_beat_monotonic)`` or ``None``
+#: outside a supervised worker.
+_worker_heartbeat: Optional[List[Any]] = None
+
+
+def heartbeat() -> None:
+    """Report liveness from inside a supervised trial task.
+
+    A no-op outside supervised workers, so tasks may call it
+    unconditionally (the campaign shard loop beats once per session).
+    Beats are throttled to one per :data:`_HEARTBEAT_INTERVAL` so a
+    tight loop cannot flood the result queue.  The parent's hung-shard
+    watchdog (``FaultTolerance.heartbeat_timeout``) kills and retries a
+    worker whose beats stop.
+    """
+    channel = _worker_heartbeat
+    if channel is None:
+        return
+    queue, index, last = channel
+    now = time.monotonic()
+    if now - last < _HEARTBEAT_INTERVAL:
+        return
+    channel[2] = now
+    try:
+        queue.put((index, _HEARTBEAT, None, ""))
+    except Exception:  # queue torn down mid-shutdown — liveness only
+        pass
+
+
+def retry_backoff(base: float, seed_key: str, index: int, attempt: int) -> float:
+    """Deterministic exponential backoff before a same-seed retry.
+
+    The jitter is derived from ``sha256(seed_key | index | attempt)``
+    rather than wall-clock randomness, so a fault-tolerant rerun of the
+    same configuration pauses for exactly the same spans — timing noise
+    never sneaks into otherwise bit-identical executions.  The
+    :data:`BACKOFF_ENV` environment variable overrides ``base`` when
+    set (``REPRO_BACKOFF=0`` disables waiting in tests and CI).
+    """
+    env = os.environ.get(BACKOFF_ENV, "").strip()
+    if env:
+        try:
+            base = float(env)
+        except ValueError:
+            raise ValueError(
+                f"{BACKOFF_ENV} must be a float, got {env!r}"
+            ) from None
+    if base <= 0:
+        return 0.0
+    token = hashlib.sha256(
+        f"{seed_key}|{index}|{attempt}".encode("utf-8")
+    ).digest()
+    jitter = int.from_bytes(token[:8], "big") / 2**64
+    return base * (2 ** max(0, attempt - 1)) * (0.5 + jitter)
 
 
 #: Sequence number for :func:`auto_fault_tolerance` checkpoint files,
@@ -213,14 +306,26 @@ class TrialExecutionError(RuntimeError):
         return (TrialExecutionError, (self.trial, self.details))
 
 
+#: The per-trial failure taxonomy carried by :class:`TrialError.kind`.
+ERROR_KINDS = ("exception", "crash", "timeout", "stalled", "deadline")
+
+
 @dataclass(frozen=True)
 class TrialError:
-    """Structured record of one trial that exhausted its retries."""
+    """Structured record of one trial that exhausted its retries.
+
+    ``kind`` classifies the terminal failure (:data:`ERROR_KINDS`);
+    ``history`` is the attempt-by-attempt record — one dict per failed
+    attempt with ``attempt``, ``kind``, ``error`` and ``elapsed_s`` —
+    which the campaign failure manifest surfaces verbatim.
+    """
 
     trial: int
     attempts: int
     error: str
     traceback: str = ""
+    kind: str = "exception"
+    history: tuple = ()
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -228,6 +333,8 @@ class TrialError:
             "attempts": self.attempts,
             "error": self.error,
             "traceback": self.traceback,
+            "kind": self.kind,
+            "history": [dict(entry) for entry in self.history],
         }
 
 
@@ -246,12 +353,31 @@ class FaultTolerance:
             scalars) when checkpointing is enabled.
         checkpoint_every: flush the checkpoint after this many newly
             completed trials (1 = after every trial).
+        checkpoint_digest: config digest bound into the checkpoint
+            file; a file carrying a *different* digest is quarantined
+            on resume instead of silently poisoning the run.
+        deadline: wall-clock budget in seconds for the whole
+            ``map_trials`` call; unfinished trials become
+            ``kind="deadline"`` :class:`TrialError` records.
+        heartbeat_timeout: a supervised worker silent (no
+            :func:`heartbeat`) for longer than this is declared stalled,
+            killed and retried (process backend only).
+        backoff_base: base seconds of the deterministic exponential
+            backoff before each same-seed retry (0 disables; the
+            :data:`BACKOFF_ENV` environment variable overrides).
+        backoff_seed: seed key mixed into the backoff jitter (the
+            campaign passes its config digest).
     """
 
     timeout: Optional[float] = None
     retries: int = 1
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 1
+    checkpoint_digest: Optional[str] = None
+    deadline: Optional[float] = None
+    heartbeat_timeout: Optional[float] = None
+    backoff_base: float = 0.0
+    backoff_seed: str = ""
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -260,6 +386,12 @@ class FaultTolerance:
             raise ValueError("retries must be >= 0")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.deadline is not None and self.deadline < 0:
+            raise ValueError("deadline must be >= 0")
+        if self.heartbeat_timeout is not None and self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
 
 
 class _IndexedTask:
@@ -279,7 +411,12 @@ class _IndexedTask:
 
 def _trial_worker(task, index, result_queue):  # pragma: no cover - subprocess
     """Spawn target: run one trial, ship (index, ok, payload, tb) back."""
+    global _worker_heartbeat
     _silence_worker_stdout()
+    # Open the heartbeat channel and announce liveness once, so the
+    # parent's watchdog clock starts from task entry, not spawn time.
+    _worker_heartbeat = [result_queue, index, 0.0]
+    heartbeat()
     try:
         result = task(index)
     except BaseException as error:
@@ -295,35 +432,124 @@ def _trial_worker(task, index, result_queue):  # pragma: no cover - subprocess
         result_queue.put((index, True, result, ""))
 
 
+#: Chaos/test hook: when set, called at the top of every checkpoint
+#: write — raising ``OSError`` there simulates ENOSPC/EIO on the
+#: checkpoint writer (see :mod:`repro.chaos.inject`).
+_flush_fault_hook: Optional[Callable[[], None]] = None
+
+
+def set_flush_fault_hook(hook: Optional[Callable[[], None]]) -> None:
+    """Install (or clear) the checkpoint-writer fault-injection hook."""
+    global _flush_fault_hook
+    _flush_fault_hook = hook
+
+
 class Checkpoint:
     """A JSON file of completed trial results, written atomically.
 
-    Format::
+    Format (version 2)::
 
-        {"version": 1, "results": {"<trial index>": <result>, ...}}
+        {"version": 2,
+         "config_digest": "<owning config digest or ''>",
+         "results": {"<trial index>": <result>, ...},
+         "payload_sha256": "<sha256 of the canonical rest>"}
 
     Only successes are persisted — errored trials are retried from
     scratch on resume.
+
+    Integrity: the embedded SHA-256 covers the canonical JSON of every
+    other field.  A file that fails to parse, carries an unknown
+    version, fails the digest check, or belongs to a *different* config
+    (``config_digest`` mismatch) is **quarantined** — atomically renamed
+    to ``<path>.corrupt`` — and the checkpoint starts empty, so a
+    corrupted or foreign file costs a recompute, never a crash and
+    never a silently wrong merge.
+
+    Durability: :meth:`flush` writes to a temp file, fsyncs it, renames
+    it over ``path``, then fsyncs the directory — the pair of fsyncs is
+    what makes the rename actually atomic across power loss.
+
+    Degradation: a flush that fails with ``OSError`` (disk full, I/O
+    error) disables further writes (``disabled``/``write_error``) with
+    a one-line stderr warning instead of killing the run; the
+    computation continues, merely losing resumability.
     """
 
-    VERSION = 1
+    VERSION = 2
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self, path: str, config_digest: Optional[str] = None
+    ) -> None:
         self.path = path
+        self.config_digest = config_digest
         self.results: Dict[int, Any] = {}
+        self.quarantined: Optional[str] = None
+        self.quarantine_reason: Optional[str] = None
+        self.disabled = False
+        self.write_error: Optional[str] = None
         self._dirty = 0
         if os.path.exists(path):
+            self._load(path)
+
+    # -- loading & quarantine -------------------------------------------
+
+    def _quarantine(self, reason: str) -> None:
+        corrupt = self.path + ".corrupt"
+        try:
+            os.replace(self.path, corrupt)
+        except OSError as error:  # can't even move it aside: start fresh
+            corrupt = f"{self.path} (unmovable: {error})"
+        self.quarantined = corrupt
+        self.quarantine_reason = reason
+        self.results = {}
+        print(
+            f"repro: warning: quarantined checkpoint {self.path} -> "
+            f"{corrupt} ({reason}); affected trials restart cleanly",
+            file=sys.stderr,
+        )
+
+    def _load(self, path: str) -> None:
+        try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-            if payload.get("version") != self.VERSION:
-                raise ValueError(
-                    f"checkpoint {path!r} has unsupported version "
-                    f"{payload.get('version')!r}"
-                )
-            self.results = {
-                int(key): _decode_checkpoint_result(value)
-                for key, value in payload.get("results", {}).items()
-            }
+        except (OSError, ValueError) as error:
+            self._quarantine(f"unreadable: {type(error).__name__}: {error}")
+            return
+        if not isinstance(payload, dict):
+            self._quarantine("not a JSON object")
+            return
+        if payload.get("version") != self.VERSION:
+            self._quarantine(
+                f"unsupported version {payload.get('version')!r}"
+            )
+            return
+        recorded_sha = payload.get("payload_sha256")
+        body = {k: v for k, v in payload.items() if k != "payload_sha256"}
+        actual_sha = self._payload_sha(body)
+        if recorded_sha != actual_sha:
+            self._quarantine(
+                f"payload sha256 mismatch (recorded "
+                f"{str(recorded_sha)[:12]}, actual {actual_sha[:12]})"
+            )
+            return
+        file_digest = payload.get("config_digest") or None
+        if self.config_digest is None:
+            self.config_digest = file_digest
+        elif file_digest is not None and file_digest != self.config_digest:
+            self._quarantine(
+                f"foreign config digest {file_digest!r} "
+                f"(expected {self.config_digest!r})"
+            )
+            return
+        self.results = {
+            int(key): _decode_checkpoint_result(value)
+            for key, value in payload.get("results", {}).items()
+        }
+
+    @staticmethod
+    def _payload_sha(body: Dict[str, Any]) -> str:
+        canonical = json.dumps(body, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def __len__(self) -> int:
         return len(self.results)
@@ -338,13 +564,35 @@ class Checkpoint:
             self.flush()
 
     def flush(self) -> None:
-        payload = {
+        """Write the sealed payload atomically; degrade on I/O failure."""
+        if self.disabled:
+            return
+        try:
+            self._write()
+        except OSError as error:
+            self.disabled = True
+            self.write_error = f"{type(error).__name__}: {error}"
+            print(
+                f"repro: warning: checkpoint write to {self.path} failed "
+                f"({self.write_error}); continuing without checkpointing",
+                file=sys.stderr,
+            )
+        else:
+            self._dirty = 0
+
+    def _write(self) -> None:
+        if _flush_fault_hook is not None:
+            _flush_fault_hook()
+        body = {
             "version": self.VERSION,
+            "config_digest": self.config_digest or "",
             "results": {
                 str(index): _encode_checkpoint_result(value)
                 for index, value in sorted(self.results.items())
             },
         }
+        payload = dict(body)
+        payload["payload_sha256"] = self._payload_sha(body)
         directory = os.path.dirname(os.path.abspath(self.path))
         fd, temp_path = tempfile.mkstemp(
             dir=directory, prefix=".checkpoint-", suffix=".tmp"
@@ -352,12 +600,47 @@ class Checkpoint:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(temp_path, self.path)
+            self._fsync_directory(directory)
         except BaseException:
             if os.path.exists(temp_path):
                 os.unlink(temp_path)
             raise
-        self._dirty = 0
+
+    @staticmethod
+    def _fsync_directory(directory: str) -> None:
+        """Persist the rename itself (no-op where dirs can't be opened)."""
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - non-POSIX directory open
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    @classmethod
+    def truncate(cls, path: str, keep: Optional[int] = None) -> int:
+        """Drop the tail of a checkpoint's results and re-seal the file.
+
+        Simulates a kill between flushes (every flush is atomic, so a
+        real kill always leaves some valid earlier file).  ``keep`` is
+        how many results survive, default half.  Returns the kept
+        count; a missing or empty file is left alone.
+        """
+        if not os.path.exists(path):
+            return 0
+        checkpoint = cls(path)
+        keys = sorted(checkpoint.results)
+        if keep is None:
+            keep = len(keys) // 2
+        checkpoint.results = {
+            key: checkpoint.results[key] for key in keys[:keep]
+        }
+        checkpoint.flush()
+        return len(checkpoint.results)
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -410,6 +693,9 @@ class TrialExecutor:
             raise ValueError("chunk_size must be >= 1")
         self.backend = backend
         self.chunk_size = chunk_size
+        #: The Checkpoint of the most recent fault-tolerant map (None
+        #: otherwise) — supervisors read quarantine/write-error state.
+        self.last_checkpoint: Optional[Checkpoint] = None
 
     def _chunk_size(self, count: int, workers: int) -> int:
         if self.chunk_size is not None:
@@ -470,10 +756,17 @@ class TrialExecutor:
         task: Callable[[int], T],
         policy: FaultTolerance,
     ) -> List[Union[T, TrialError]]:
+        started = time.monotonic()
         checkpoint = (
-            Checkpoint(policy.checkpoint_path)
+            Checkpoint(
+                policy.checkpoint_path,
+                config_digest=policy.checkpoint_digest,
+            )
             if policy.checkpoint_path else None
         )
+        #: Exposed for supervisors (the campaign engine reads quarantine
+        #: and write-degradation state off it for the failure manifest).
+        self.last_checkpoint = checkpoint
         results: Dict[int, Any] = {}
         if checkpoint is not None:
             results.update(
@@ -486,53 +779,115 @@ class TrialExecutor:
         if pending:
             if self.backend == "serial" or workers <= 1:
                 self._run_serial_tolerant(
-                    pending, task, policy, results, checkpoint
+                    pending, task, policy, results, checkpoint, started
                 )
             else:
                 self._run_supervised(
-                    pending, task, policy, results, checkpoint, workers
+                    pending, task, policy, results, checkpoint, workers,
+                    started,
                 )
         if checkpoint is not None:
             checkpoint.flush()
         return [results[index] for index in indices]
 
+    def _deadline_error(self, index: int, attempts: int,
+                        history: tuple = ()) -> TrialError:
+        return TrialError(
+            trial=index,
+            attempts=attempts,
+            error="deadline: campaign wall-clock budget exhausted",
+            kind="deadline",
+            history=history,
+        )
+
     def _run_serial_tolerant(
-        self, pending, task, policy, results, checkpoint
+        self, pending, task, policy, results, checkpoint, started
     ) -> None:
-        """In-process fallback: retries and checkpointing, no preemption."""
-        for index in pending:
+        """In-process fallback: retries and checkpointing, no preemption.
+
+        ``timeout`` and ``heartbeat_timeout`` cannot preempt a trial on
+        this backend; ``deadline`` is honoured between trials and
+        between retries.
+        """
+        deadline_at = (
+            started + policy.deadline if policy.deadline is not None else None
+        )
+        for position, index in enumerate(pending):
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                for skipped in pending[position:]:
+                    self._finish_trial(
+                        skipped, self._deadline_error(skipped, 0),
+                        results, checkpoint, policy,
+                    )
+                return
             attempts = 0
+            history: List[Dict[str, Any]] = []
+            trial_started = time.monotonic()
             while True:
                 attempts += 1
                 try:
                     outcome = task(index)
                 except Exception as error:
+                    history.append({
+                        "attempt": attempts,
+                        "kind": "exception",
+                        "error": f"{type(error).__name__}: {error}",
+                        "elapsed_s": round(
+                            time.monotonic() - trial_started, 3
+                        ),
+                    })
                     if attempts <= policy.retries:
+                        delay = retry_backoff(
+                            policy.backoff_base, policy.backoff_seed,
+                            index, attempts,
+                        )
+                        if delay > 0:
+                            time.sleep(delay)
+                        if (
+                            deadline_at is not None
+                            and time.monotonic() >= deadline_at
+                        ):
+                            outcome = self._deadline_error(
+                                index, attempts, tuple(history)
+                            )
+                            break
                         continue
                     outcome = TrialError(
                         trial=index,
                         attempts=attempts,
                         error=f"{type(error).__name__}: {error}",
                         traceback=traceback.format_exc(),
+                        kind="exception",
+                        history=tuple(history),
                     )
                 break
             self._finish_trial(index, outcome, results, checkpoint, policy)
 
     def _run_supervised(
-        self, pending, task, policy, results, checkpoint, workers
+        self, pending, task, policy, results, checkpoint, workers, started
     ) -> None:
         """One supervised spawn process per trial, ``workers`` at a time.
 
         Unlike a shared pool, a crashed or hung worker here is *one
         process* whose exit code and runtime the parent watches — so a
         ``SIGKILL`` mid-trial, an OOM kill or an infinite loop costs one
-        attempt of one trial, never the sweep.
+        attempt of one trial, never the sweep.  Workers report progress
+        heartbeats over the result queue; with ``heartbeat_timeout``
+        set, a silent-but-alive worker (a stalled shard) is killed and
+        retried like a hung one.  ``deadline`` bounds the whole call:
+        on expiry every unfinished trial is recorded as
+        ``kind="deadline"`` and the loop stops.
         """
         context = multiprocessing.get_context("spawn")
         result_queue = context.Queue()
         todo = deque(pending)
         running: Dict[int, Dict[str, Any]] = {}
         attempts: Dict[int, int] = {}
+        history: Dict[int, List[Dict[str, Any]]] = {}
+        ready_at: Dict[int, float] = {}
+        deadline_at = (
+            started + policy.deadline if policy.deadline is not None else None
+        )
 
         def launch(index: int) -> None:
             attempts[index] = attempts.get(index, 0) + 1
@@ -542,9 +897,11 @@ class TrialExecutor:
                 daemon=True,
             )
             process.start()
+            now = time.monotonic()
             running[index] = {
                 "process": process,
-                "started": time.monotonic(),
+                "started": now,
+                "last_beat": now,
                 "dead_since": None,
             }
 
@@ -553,16 +910,31 @@ class TrialExecutor:
             state["process"].join(timeout=_CRASH_GRACE)
             self._finish_trial(index, outcome, results, checkpoint, policy)
 
-        def retry_or_fail(index: int, error: str, tb: str = "") -> None:
-            state = running.pop(index)
-            process = state["process"]
+        def kill(process) -> None:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=_CRASH_GRACE)
                 if process.is_alive():
                     process.kill()
                     process.join(timeout=_CRASH_GRACE)
+
+        def retry_or_fail(
+            index: int, error: str, tb: str = "", kind: str = "exception"
+        ) -> None:
+            state = running.pop(index)
+            kill(state["process"])
+            history.setdefault(index, []).append({
+                "attempt": attempts[index],
+                "kind": kind,
+                "error": error,
+                "elapsed_s": round(time.monotonic() - state["started"], 3),
+            })
             if attempts[index] <= policy.retries:
+                delay = retry_backoff(
+                    policy.backoff_base, policy.backoff_seed,
+                    index, attempts[index],
+                )
+                ready_at[index] = time.monotonic() + delay
                 todo.appendleft(index)
             else:
                 self._finish_trial(
@@ -572,13 +944,50 @@ class TrialExecutor:
                         attempts=attempts[index],
                         error=error,
                         traceback=tb,
+                        kind=kind,
+                        history=tuple(history.get(index, ())),
+                    ),
+                    results, checkpoint, policy,
+                )
+
+        def expire_deadline() -> None:
+            """Kill everything in flight; record all unfinished trials."""
+            for index in list(running):
+                state = running.pop(index)
+                kill(state["process"])
+                self._finish_trial(
+                    index,
+                    self._deadline_error(
+                        index, attempts.get(index, 0),
+                        tuple(history.get(index, ())),
+                    ),
+                    results, checkpoint, policy,
+                )
+            while todo:
+                index = todo.popleft()
+                self._finish_trial(
+                    index,
+                    self._deadline_error(
+                        index, attempts.get(index, 0),
+                        tuple(history.get(index, ())),
                     ),
                     results, checkpoint, policy,
                 )
 
         try:
             while todo or running:
+                if (
+                    deadline_at is not None
+                    and time.monotonic() >= deadline_at
+                ):
+                    expire_deadline()
+                    break
                 while todo and len(running) < workers:
+                    # The head of the queue may be backing off; trials
+                    # behind it wait too (retries go to the front so a
+                    # recovering shard is not starved by fresh work).
+                    if ready_at.get(todo[0], 0.0) > time.monotonic():
+                        break
                     launch(todo.popleft())
                 try:
                     message = result_queue.get(timeout=_POLL_INTERVAL)
@@ -587,7 +996,9 @@ class TrialExecutor:
                 if message is not None:
                     index, ok, payload, tb = message
                     if index in running:
-                        if ok:
+                        if ok == _HEARTBEAT:
+                            running[index]["last_beat"] = time.monotonic()
+                        elif ok:
                             retire(index, payload)
                         else:
                             retry_or_fail(index, payload, tb)
@@ -604,6 +1015,20 @@ class TrialExecutor:
                         retry_or_fail(
                             index,
                             f"timeout: trial exceeded {policy.timeout:.1f}s",
+                            kind="timeout",
+                        )
+                        continue
+                    if (
+                        policy.heartbeat_timeout is not None
+                        and now - state["last_beat"]
+                        > policy.heartbeat_timeout
+                        and process.is_alive()
+                    ):
+                        retry_or_fail(
+                            index,
+                            "stalled: no heartbeat for "
+                            f"{policy.heartbeat_timeout:.1f}s",
+                            kind="stalled",
                         )
                         continue
                     if not process.is_alive():
@@ -616,6 +1041,7 @@ class TrialExecutor:
                                 index,
                                 "worker crashed with exit code "
                                 f"{process.exitcode}",
+                                kind="crash",
                             )
         finally:
             for state in running.values():

@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Retry backoff is deterministic but real wall-clock; never wait in tests.
+os.environ.setdefault("REPRO_BACKOFF", "0")
 
 from repro.netsim.link import Link, LinkConfig
 from repro.netsim.node import Host

@@ -26,6 +26,7 @@ from repro.campaign import (
     run_campaign,
 )
 from repro.campaign.engine import evaluate_page_analytic
+from repro.experiments.executor import Checkpoint
 from repro.web.workload import (
     PageSpec,
     PopulationConfig,
@@ -295,14 +296,12 @@ def test_campaign_checkpoint_resume_bit_identical(tmp_path, backend):
     assert complete.digest() == reference.digest()
 
     # ...then simulate a kill after 3 shards by truncating the
-    # checkpoint, and resume: completed shards are not re-run, and the
-    # merged output is bit-identical to the uninterrupted reference.
+    # checkpoint (resealed, as any kill between atomic flushes leaves
+    # it), and resume: completed shards are not re-run, and the merged
+    # output is bit-identical to the uninterrupted reference.
     path = checkpoint_path(config, str(checkpoint_dir))
-    payload = json.loads(open(path, encoding="utf-8").read())
-    survivors = sorted(payload["results"], key=int)[:3]
-    payload["results"] = {key: payload["results"][key] for key in survivors}
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
+    kept = Checkpoint.truncate(path, keep=3)
+    assert kept == 3
     resumed = run_campaign(
         config, checkpoint_dir=str(checkpoint_dir), backend=backend
     )

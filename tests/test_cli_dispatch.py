@@ -35,6 +35,12 @@ BAD_COMBOS = [
     (["fig6", "--size-exponent", "1.1"], "--size-exponent"),
     (["campaign", "--trial", "0"], "--trial"),
     (["campaign", "--levels", "0.5"], "--levels"),
+    (["table1", "--allow-partial"], "--allow-partial"),
+    (["verify", "--deadline", "10"], "--deadline"),
+    (["fig1", "--heartbeat-timeout", "5"], "--heartbeat-timeout"),
+    (["baseline", "--failure-manifest", "m.json"], "--failure-manifest"),
+    (["table1", "--scenario", "worker-kill"], "--scenario"),
+    (["campaign", "--scenario", "worker-kill"], "--scenario"),
 ]
 
 
@@ -67,8 +73,13 @@ def test_coherent_scoped_flags_pass_validation():
         ["campaign", "--sessions", "1000", "--shard-size", "100",
          "--mode", "analytic", "--checkpoint-dir", "ck",
          "--max-objects", "48", "--count-exponent", "0.8",
-         "--size-exponent", "1.2", "--json", "out.json"]
+         "--size-exponent", "1.2", "--json", "out.json",
+         "--allow-partial", "--deadline", "60",
+         "--heartbeat-timeout", "30", "--failure-manifest", "m.json"]
     )
+    cli._validate_args(parser, args)
+    args = parser.parse_args(["chaos", "--quick",
+                              "--scenario", "deadline-expiry"])
     cli._validate_args(parser, args)
 
 
@@ -149,3 +160,51 @@ def test_verify_unknown_only_exits_2(capsys):
     captured = capsys.readouterr()
     assert code == 2
     assert "nosuch" in captured.err
+
+
+def test_campaign_failed_shards_exit_1_with_error_table(capsys):
+    # deadline 0 without --allow-partial: every shard is skipped, the
+    # campaign cannot produce a trustworthy total, so it must fail with
+    # the concise per-shard table on stderr (not a raw traceback).
+    code = cli.main(["campaign", "--sessions", "400", "--shard-size", "100",
+                     "--workers", "1", "--deadline", "0"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "Campaign shard failures" in captured.err
+    assert "deadline" in captured.err
+    assert "shard(s) failed after retries" in captured.err
+
+
+def test_campaign_allow_partial_exits_3(capsys, tmp_path):
+    manifest = tmp_path / "manifest.json"
+    code = cli.main(["campaign", "--sessions", "400", "--shard-size", "100",
+                     "--workers", "1", "--deadline", "0",
+                     "--allow-partial", "--failure-manifest", str(manifest)])
+    captured = capsys.readouterr()
+    assert code == 3
+    assert "coverage (PARTIAL)" in captured.out
+    assert "PARTIAL coverage" in captured.err
+    assert manifest.exists()
+    import json
+
+    from repro.campaign import validate_manifest
+
+    payload = json.loads(manifest.read_text())
+    validate_manifest(payload)
+    assert payload["status"] == "partial"
+
+
+def test_chaos_unknown_scenario_exits_2(capsys):
+    code = cli.main(["chaos", "--scenario", "nosuch"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "nosuch" in captured.err
+
+
+def test_chaos_single_scenario_smoke(capsys):
+    code = cli.main(["chaos", "--scenario", "deadline-expiry"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Chaos harness" in captured.out
+    assert "deadline-expiry" in captured.out
+    assert "PASS" in captured.out

@@ -142,13 +142,21 @@ def test_first_divergence_pinpoints_line():
 
 
 def test_truncate_checkpoint_keeps_first_half(tmp_path):
+    from repro.experiments.executor import Checkpoint
+
     path = tmp_path / "ck.json"
-    results = {str(index): index * 10 for index in range(6)}
-    path.write_text(json.dumps({"version": 1, "results": results}))
+    checkpoint = Checkpoint(str(path))
+    for index in range(6):
+        checkpoint.record(index, index * 10)
+    checkpoint.flush()
     kept = matrix._truncate_checkpoint(path)
     assert kept == 3
     payload = json.loads(path.read_text())
     assert payload["results"] == {"0": 0, "1": 10, "2": 20}
+    # The truncated file is re-sealed: a resume trusts it, no quarantine.
+    reloaded = Checkpoint(str(path))
+    assert len(reloaded) == 3
+    assert reloaded.quarantined is None
     assert matrix._truncate_checkpoint(tmp_path / "missing.json") == 0
 
 

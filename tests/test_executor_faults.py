@@ -156,10 +156,12 @@ def test_fault_tolerance_validation():
 
 def test_trial_error_to_json():
     error = TrialError(trial=4, attempts=2, error="ValueError: x",
-                       traceback="tb")
+                       traceback="tb",
+                       history=({"attempt": 1, "kind": "exception"},))
     assert error.to_json() == {
         "trial": 4, "attempts": 2, "error": "ValueError: x",
-        "traceback": "tb",
+        "traceback": "tb", "kind": "exception",
+        "history": [{"attempt": 1, "kind": "exception"}],
     }
 
 
@@ -257,7 +259,8 @@ def test_checkpoint_resume_skips_completed_trials(tmp_path):
     assert isinstance(first[2], TrialError)
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
-    assert payload["version"] == 1
+    assert payload["version"] == Checkpoint.VERSION
+    assert payload["payload_sha256"]  # integrity seal embedded
     assert sorted(payload["results"]) == ["0", "1", "3"]  # no error persisted
 
     # Resume with a task returning *different* values: completed trials
@@ -269,11 +272,15 @@ def test_checkpoint_resume_skips_completed_trials(tmp_path):
     assert second == [0, 1, 102, 9]
 
 
-def test_checkpoint_rejects_unknown_version(tmp_path):
+def test_checkpoint_quarantines_unknown_version(tmp_path):
     path = tmp_path / "checkpoint.json"
     path.write_text('{"version": 99, "results": {}}')
-    with pytest.raises(ValueError, match="version"):
-        Checkpoint(str(path))
+    checkpoint = Checkpoint(str(path))
+    assert len(checkpoint) == 0
+    assert checkpoint.quarantined == str(path) + ".corrupt"
+    assert "version" in checkpoint.quarantine_reason
+    assert not path.exists()
+    assert (tmp_path / "checkpoint.json.corrupt").exists()
 
 
 def test_checkpoint_records_and_flushes_atomically(tmp_path):

@@ -1,0 +1,283 @@
+"""Campaign supervision: checkpoint integrity, degradation, manifests.
+
+The contract under test: no matter what happens to a checkpoint file
+or a shard, a supervised campaign either recovers to the bit-identical
+digest of an uninterrupted run, or returns an explicitly-accounted
+partial result — and in both cases leaves machine-readable evidence.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignError,
+    build_manifest,
+    checkpoint_path,
+    render_shard_errors,
+    run_campaign,
+    validate_manifest,
+    write_manifest,
+)
+from repro.experiments.executor import (
+    Checkpoint,
+    TrialError,
+    retry_backoff,
+)
+
+CONFIG = CampaignConfig(sessions=600, shard_size=100, seed=5)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint integrity: the corruption matrix
+# ---------------------------------------------------------------------------
+
+def _checkpointed_digest(tmp_path):
+    """Run the reference campaign with a checkpoint; return its digest."""
+    result = run_campaign(CONFIG, workers=1, checkpoint_dir=str(tmp_path))
+    return result.digest()
+
+
+def _corrupt_truncated_bytes(path):
+    with open(path, "r+b") as handle:
+        handle.truncate(os.path.getsize(path) // 2)
+
+
+def _corrupt_invalid_json(path):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("{not json at all")
+
+
+def _corrupt_wrong_version(path):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": 99, "results": {}}, handle)
+
+
+def _corrupt_foreign_digest(path):
+    # A structurally valid, correctly-sealed checkpoint that belongs to
+    # a *different* campaign config: resume must not adopt its results.
+    foreign = Checkpoint(path + ".foreign", config_digest="feedfacecafe")
+    foreign.record(0, {"counts": {"sessions": 100}})
+    os.replace(path + ".foreign", path)
+
+
+CORRUPTIONS = {
+    "truncated-bytes": _corrupt_truncated_bytes,
+    "invalid-json": _corrupt_invalid_json,
+    "wrong-version": _corrupt_wrong_version,
+    "foreign-config": _corrupt_foreign_digest,
+}
+
+
+@pytest.mark.parametrize("kind", sorted(CORRUPTIONS))
+def test_corrupted_checkpoint_quarantined_and_recomputed(tmp_path, kind):
+    reference = run_campaign(CONFIG, workers=1).digest()
+    assert _checkpointed_digest(tmp_path) == reference
+    path = checkpoint_path(CONFIG, str(tmp_path))
+    CORRUPTIONS[kind](path)
+
+    result = run_campaign(CONFIG, workers=1, checkpoint_dir=str(tmp_path))
+    sidecar = path + ".corrupt"
+    assert os.path.exists(sidecar)  # evidence preserved, not deleted
+    assert result.quarantined == [sidecar]
+    assert result.resumed_shards == 0  # nothing trusted from the wreck
+    assert result.digest() == reference  # clean recompute, bit-identical
+    assert not result.partial
+
+
+def test_intact_checkpoint_still_resumes(tmp_path):
+    reference = _checkpointed_digest(tmp_path)
+    result = run_campaign(CONFIG, workers=1, checkpoint_dir=str(tmp_path))
+    assert result.resumed_shards == CONFIG.shard_count
+    assert result.quarantined == []
+    assert result.digest() == reference
+
+
+def test_resealed_truncation_resumes_the_prefix(tmp_path):
+    # Checkpoint.truncate models a kill *between* atomic flushes: the
+    # surviving prefix is sealed and must be trusted on resume.
+    reference = _checkpointed_digest(tmp_path)
+    path = checkpoint_path(CONFIG, str(tmp_path))
+    kept = Checkpoint.truncate(path, keep=2)
+    assert kept == 2
+    result = run_campaign(CONFIG, workers=1, checkpoint_dir=str(tmp_path))
+    assert result.resumed_shards == 2
+    assert result.quarantined == []
+    assert result.digest() == reference
+
+
+def test_checkpoint_flush_fsyncs_file_and_directory(tmp_path, monkeypatch):
+    # Crash durability: the temp file must be fsynced before the rename
+    # and the directory after it, else a power cut can lose the rename.
+    import repro.experiments.executor as executor_module
+
+    synced = []
+    real_fsync = os.fsync
+
+    def counting_fsync(fd):
+        synced.append(fd)
+        return real_fsync(fd)
+
+    monkeypatch.setattr(executor_module.os, "fsync", counting_fsync)
+    checkpoint = Checkpoint(str(tmp_path / "checkpoint.json"))
+    checkpoint.record(0, {"value": 1}, flush_every=1)
+    assert len(synced) >= 2  # one for the payload fd, one for the dir fd
+
+
+# ---------------------------------------------------------------------------
+# Deterministic retry backoff
+# ---------------------------------------------------------------------------
+
+def test_retry_backoff_is_deterministic(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKOFF", raising=False)
+    first = retry_backoff(0.1, "digest", index=3, attempt=2)
+    again = retry_backoff(0.1, "digest", index=3, attempt=2)
+    assert first == again
+    assert first > 0
+    # Different (seed, index, attempt) tuples jitter differently.
+    assert retry_backoff(0.1, "other", 3, 2) != first
+    assert retry_backoff(0.1, "digest", 4, 2) != first
+    assert retry_backoff(0.1, "digest", 3, 3) != first
+
+
+def test_retry_backoff_grows_exponentially(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKOFF", raising=False)
+    # jitter is in [0.5, 1.5) of base * 2^(attempt-1): attempt 4 always
+    # exceeds attempt 1's maximum.
+    assert retry_backoff(0.1, "d", 0, 4) > retry_backoff(0.1, "d", 0, 1)
+
+
+def test_retry_backoff_env_disables_waiting(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKOFF", "0")
+    assert retry_backoff(10.0, "digest", 0, 5) == 0.0
+
+
+def test_retry_backoff_env_overrides_base(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKOFF", "2.0")
+    scaled = retry_backoff(0.0, "digest", 1, 1)
+    assert 1.0 <= scaled < 3.0  # 2.0 * (0.5 + jitter)
+    monkeypatch.setenv("REPRO_BACKOFF", "banana")
+    with pytest.raises(ValueError):
+        retry_backoff(1.0, "digest", 1, 1)
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation and coverage accounting
+# ---------------------------------------------------------------------------
+
+def test_deadline_without_allow_partial_raises(tmp_path):
+    with pytest.raises(CampaignError) as excinfo:
+        run_campaign(CONFIG, workers=1, deadline=0.0,
+                     failure_manifest=str(tmp_path / "m.json"))
+    error = excinfo.value
+    assert len(error.errors) == CONFIG.shard_count
+    assert error.manifest_path == str(tmp_path / "m.json")
+    assert "failure manifest" in str(error)
+    payload = json.loads((tmp_path / "m.json").read_text())
+    validate_manifest(payload)
+    assert payload["status"] == "failed"
+
+
+def test_allow_partial_returns_coverage_accounting():
+    result = run_campaign(CONFIG, workers=1, deadline=0.0,
+                          allow_partial=True)
+    assert result.partial
+    assert result.failed_shards == []
+    assert len(result.skipped_shards) == CONFIG.shard_count
+    assert result.sessions_covered == 0
+    coverage = result.coverage()
+    assert coverage["completed_shards"] == 0
+    assert coverage["error_kinds"] == ["deadline"]
+    assert "coverage" in result.to_json()
+    assert "coverage (PARTIAL)" in result.render()
+
+
+def test_full_coverage_json_and_render_carry_no_degraded_fields():
+    result = run_campaign(CONFIG, workers=1)
+    assert not result.partial
+    assert "coverage" not in result.to_json()
+    assert "PARTIAL" not in result.render()
+
+
+def test_deadline_skips_are_not_persisted(tmp_path):
+    # A deadline-skipped shard must stay recomputable: the checkpoint
+    # holds only real results, so a later unconstrained resume finishes.
+    reference = run_campaign(CONFIG, workers=1).digest()
+    partial = run_campaign(CONFIG, workers=1, deadline=0.0,
+                           allow_partial=True,
+                           checkpoint_dir=str(tmp_path))
+    assert partial.sessions_covered == 0
+    resumed = run_campaign(CONFIG, workers=1,
+                           checkpoint_dir=str(tmp_path))
+    assert not resumed.partial
+    assert resumed.digest() == reference
+
+
+# ---------------------------------------------------------------------------
+# Failure manifest schema
+# ---------------------------------------------------------------------------
+
+def _sample_errors():
+    return [
+        TrialError(trial=2, attempts=2, error="ValueError: boom",
+                   traceback="tb", kind="exception",
+                   history=({"attempt": 1, "kind": "exception"},)),
+        TrialError(trial=4, attempts=0, error="deadline: exhausted",
+                   traceback="", kind="deadline"),
+    ]
+
+
+def test_build_manifest_validates_and_accounts():
+    manifest = build_manifest(CONFIG, _sample_errors(), status="partial",
+                              quarantined=["x.corrupt"], workers=2,
+                              resumed_shards=1, elapsed_s=1.23456)
+    validate_manifest(manifest)  # must not raise
+    assert manifest["coverage"]["completed_shards"] == CONFIG.shard_count - 2
+    assert manifest["coverage"]["failed_shards"] == 1
+    assert manifest["coverage"]["skipped_shards"] == 1
+    assert manifest["quarantined_checkpoints"] == ["x.corrupt"]
+    assert manifest["execution"]["elapsed_s"] == 1.235
+    shard_record = manifest["shards"][0]
+    assert shard_record["shard"] == 2
+    assert shard_record["sessions"] == [200, 300]
+    assert shard_record["history"] == [{"attempt": 1, "kind": "exception"}]
+
+
+def test_write_manifest_round_trips(tmp_path):
+    path = str(tmp_path / "nested" / "manifest.json")
+    manifest = build_manifest(CONFIG, _sample_errors(), status="partial")
+    write_manifest(path, manifest)
+    assert json.loads(open(path, encoding="utf-8").read()) == manifest
+    assert not os.path.exists(path + ".tmp")
+
+
+@pytest.mark.parametrize("mutate, defect", [
+    (lambda m: m.pop("coverage"), "missing keys"),
+    (lambda m: m.update(version=99), "version"),
+    (lambda m: m.update(schema="bogus/v9"), "schema"),
+    (lambda m: m.update(status="meh"), "status"),
+    (lambda m: m["coverage"].update(completed_shards=0), "account"),
+    (lambda m: m["shards"][0].pop("history"), "missing"),
+    (lambda m: m["shards"][0].update(kind="gremlins"), "kind"),
+    (lambda m: m.update(status="complete"), "complete"),
+])
+def test_validate_manifest_rejects_malformed(mutate, defect):
+    manifest = build_manifest(CONFIG, _sample_errors(), status="partial")
+    mutate(manifest)
+    with pytest.raises(ValueError, match=defect):
+        validate_manifest(manifest)
+
+
+def test_validate_manifest_rejects_empty_partial():
+    manifest = build_manifest(CONFIG, [], status="partial")
+    with pytest.raises(ValueError, match="no shard records"):
+        validate_manifest(manifest)
+
+
+def test_render_shard_errors_table():
+    table = render_shard_errors(CONFIG, _sample_errors())
+    assert "Campaign shard failures (2)" in table
+    assert "200-299" in table  # shard 2's session span
+    assert "exception" in table and "deadline" in table
