@@ -45,6 +45,7 @@ if __package__ is None or __package__ == "":
 
 from repro.experiments.hotpath import KINDS, profile_reference, run_reference_trial
 from repro.fastpath import BACKEND_ENV, BACKENDS
+from repro.transport import TRANSPORT_ENV, TRANSPORTS
 
 #: Reference single-trial wall times (seconds): the *python* backend at
 #: the commit this baseline was rebased to, measured on the development
@@ -135,6 +136,32 @@ class _backend_env:
         return False
 
 
+class _transport_env:
+    """Temporarily pin ``REPRO_TRANSPORT`` for one measurement pass.
+
+    The reference slices build their stack through
+    :class:`~repro.experiments.harness.TrialConfig`'s env-resolved
+    transport, so flipping the variable times the same workload over
+    TCP and the QUIC-like datagram transport in one process.
+    """
+
+    def __init__(self, transport: str) -> None:
+        self._transport = transport
+        self._saved = None
+
+    def __enter__(self):
+        self._saved = os.environ.get(TRANSPORT_ENV)
+        os.environ[TRANSPORT_ENV] = self._transport
+        return self
+
+    def __exit__(self, *exc):
+        if self._saved is None:
+            os.environ.pop(TRANSPORT_ENV, None)
+        else:
+            os.environ[TRANSPORT_ENV] = self._saved
+        return False
+
+
 def run_bench(reps: int) -> dict:
     """Measure both slices under both backends plus one profiled pass
     per backend; returns the payload written to ``BENCH_hotpath.json``."""
@@ -152,6 +179,26 @@ def run_bench(reps: int) -> dict:
             for kind in KINDS
         }
         for backend in BACKENDS
+    }
+    # Per-transport timings of the same slices (python backend): how
+    # much the QUIC-like per-stream recovery machinery costs relative
+    # to the TCP byte stream on identical workloads.
+    transport_timings = {}
+    for transport in TRANSPORTS:
+        with _transport_env(transport):
+            transport_timings[transport] = {
+                kind: time_slice(kind, reps) for kind in KINDS
+            }
+    transports = {
+        "timings": transport_timings,
+        "slowdown_quic_vs_tcp": {
+            kind: round(
+                transport_timings["quic"][kind]["min_s"]
+                / transport_timings["tcp"][kind]["min_s"],
+                2,
+            )
+            for kind in KINDS
+        },
     }
     fast_counters = fast_profiler.snapshot()["counters"]
     events = fast_counters.get("sim.events", 0)
@@ -178,6 +225,7 @@ def run_bench(reps: int) -> dict:
         "speedup_vs_reference": speedups,
         "target_speedup": dict(TARGET_SPEEDUP),
         "fastpath": fastpath,
+        "transports": transports,
         "profile": profiler.snapshot(),
         "memory": measure_memory(),
         "host": {
@@ -208,6 +256,15 @@ def render_summary(payload: dict) -> str:
         )
         + f"  ({fastpath['batched_events']}/{fastpath['events']} events"
         f" in {fastpath['batch_runs']} batch runs)"
+    )
+    transports = payload["transports"]
+    lines.append(
+        "  quic vs tcp:    "
+        + ", ".join(
+            f"{kind} {transports['slowdown_quic_vs_tcp'][kind]:.2f}x"
+            for kind in KINDS
+        )
+        + "  (transport slowdown, python backend)"
     )
     return "\n".join(lines)
 
@@ -256,6 +313,11 @@ def test_bench_hotpath():
     assert parsed["fastpath"]["speedup_fast_vs_python"].keys() == {
         "table1", "fig6"
     }
+    assert set(payload["transports"]["timings"]) == set(TRANSPORTS)
+    for transport in TRANSPORTS:
+        assert set(payload["transports"]["timings"][transport]) == set(KINDS)
+        for kind in KINDS:
+            assert payload["transports"]["timings"][transport][kind]["min_s"] > 0
 
     # The wall-clock claims need comparable hardware.
     if speedup_assertable():

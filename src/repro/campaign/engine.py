@@ -135,6 +135,11 @@ class CampaignConfig:
         population: heavy-tail page population knobs.
         model: analytic evaluator knobs (ignored in ``full`` mode).
         horizon: full-mode simulated-time budget per session.
+        transport: transport under the full-mode packet stack.  The
+            analytic model's serialization rate is calibrated against
+            TCP head-of-line blocking, so ``analytic`` mode only
+            accepts ``tcp``; the field participates in :meth:`digest`,
+            keeping checkpoints from different transports apart.
     """
 
     sessions: int = 100_000
@@ -144,8 +149,11 @@ class CampaignConfig:
     population: PopulationConfig = field(default_factory=PopulationConfig)
     model: AnalyticModel = field(default_factory=AnalyticModel)
     horizon: float = 40.0
+    transport: str = "tcp"
 
     def __post_init__(self) -> None:
+        from repro.transport import TRANSPORTS
+
         if self.sessions < 1:
             raise ValueError("sessions must be >= 1")
         if self.shard_size < 1:
@@ -153,6 +161,16 @@ class CampaignConfig:
         if self.mode not in MODES:
             raise ValueError(
                 f"unknown campaign mode {self.mode!r}; expected one of {MODES}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; "
+                f"expected one of {TRANSPORTS}"
+            )
+        if self.mode == "analytic" and self.transport != "tcp":
+            raise ValueError(
+                "analytic mode models TCP serialization; use mode='full' "
+                f"for transport {self.transport!r}"
             )
 
     @property
@@ -238,6 +256,7 @@ def evaluate_page_full(
     rng,
     model: AnalyticModel,
     horizon: float = 40.0,
+    transport: str = "tcp",
 ) -> Dict[str, Any]:
     """Packet-level evaluation of one session; returns fold kwargs.
 
@@ -264,10 +283,12 @@ def evaluate_page_full(
     server = H2Server(
         sim, topology.server, 443, site.website.router,
         config=ServerConfig(), trace=topology.trace, rng=rng,
+        transport=transport,
     )
     client = H2Client(
         sim, topology.client, topology.server.endpoint(443),
         trace=topology.trace, authority="population.example",
+        transport=transport,
     )
     browser = Browser(
         sim, client, site.schedule, config=BrowserConfig(),
@@ -394,6 +415,7 @@ class ShardTask:
                     workload.session_rng(session),
                     config.model,
                     horizon=config.horizon,
+                    transport=config.transport,
                 )
             else:
                 outcome = evaluate_page_analytic(

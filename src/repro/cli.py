@@ -39,7 +39,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "baseline", "table1", "table2", "fig1", "fig5", "fig6",
             "delay", "ablations", "attack", "trigger", "streaming",
             "partialmux", "generalization", "fingerprint", "scorecard",
-            "profile", "robustness-study", "verify", "campaign", "chaos",
+            "transport-study", "profile", "robustness-study", "verify",
+            "campaign", "chaos",
         ],
         help="which paper experiment to run (`verify` for the "
              "conformance & golden-master harness, `campaign` for the "
@@ -72,6 +73,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "variable, else python): `fast` vectorizes analytic campaign "
             "shards with numpy and batches homogeneous simulator event "
             "runs; all outputs are bit-identical across backends"
+        ),
+    )
+    parser.add_argument(
+        "--transport", choices=["tcp", "quic"], default=None,
+        help=(
+            "transport layer under TLS/HTTP (default: the REPRO_TRANSPORT "
+            "environment variable, else tcp): `tcp` is the paper's "
+            "single-byte-stream transport whose head-of-line blocking the "
+            "attack exploits; `quic` is a QUIC-like datagram transport "
+            "with independent per-stream loss recovery"
         ),
     )
     robustness = parser.add_argument_group(
@@ -291,6 +302,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         os.environ[BACKEND_ENV] = args.backend
 
+    if args.transport is not None:
+        # Same export discipline as --backend: campaign workers and
+        # experiment subprocesses resolve the transport from the env.
+        from repro.transport import TRANSPORT_ENV
+
+        os.environ[TRANSPORT_ENV] = args.transport
+
     if args.experiment == "verify":
         return _run_verify(args)
     if args.experiment == "chaos":
@@ -391,6 +409,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              workers=args.workers)
         print(card.render())
         return 0 if card.all_shapes_hold else 1
+    elif args.experiment == "transport-study":
+        from repro.experiments import transport_study
+        print(transport_study.run(
+            trials=max(2, args.trials // 8), seed=args.seed,
+            workers=args.workers,
+        ).render())
     elif args.experiment == "robustness-study":
         return _run_robustness_study(args, workers)
     elif args.experiment == "campaign":
@@ -513,6 +537,8 @@ def _run_campaign(args) -> int:
         population = dataclasses.replace(
             PopulationConfig(), **population_overrides
         )
+        from repro.transport import resolve_transport
+
         config = CampaignConfig(
             sessions=args.sessions if args.sessions is not None else 100_000,
             shard_size=(
@@ -522,6 +548,7 @@ def _run_campaign(args) -> int:
             mode=args.mode or "analytic",
             population=population,
             model=AnalyticModel(),
+            transport=resolve_transport(args.transport),
         )
     except ValueError as error:
         print(f"repro: {error}", file=sys.stderr)

@@ -32,6 +32,25 @@ from repro.experiments.executor import capture_stdout
 #: module, so ``--update-golden`` writes into the source tree).
 GOLDEN_PATH = Path(__file__).with_name("golden.json")
 
+
+def golden_path() -> Path:
+    """The golden file for the active transport.
+
+    ``GOLDEN_PATH`` (the historical name, which tests monkeypatch)
+    stays authoritative for the default TCP transport, so the recorded
+    TCP digests assert byte-identity across the transport refactor.  A
+    verify run under ``REPRO_TRANSPORT=quic`` reads and writes a
+    sibling ``golden_quic.json`` instead — each transport's stdout is
+    its own contract.
+    """
+    from repro.transport import resolve_transport
+
+    transport = resolve_transport()
+    if transport == "tcp":
+        return GOLDEN_PATH
+    return GOLDEN_PATH.with_name(f"golden_{transport}.json")
+
+
 #: Test-only hook: when set to an experiment name, that experiment's
 #: captured stdout gets one byte perturbed — used by the test suite to
 #: prove a single flipped byte fails verify with the experiment named.
@@ -55,6 +74,9 @@ EXPERIMENTS: Dict[str, List[str]] = {
     "partialmux": ["partialmux", "--trials", "2", "--workers", "1"],
     "generalization": ["generalization", "--trials", "2", "--workers", "1"],
     "fingerprint": ["fingerprint", "--workers", "1"],
+    # transport-study pins both transports internally, so its golden
+    # bytes are independent of REPRO_TRANSPORT.
+    "transport-study": ["transport-study", "--trials", "16", "--workers", "1"],
     "robustness-study": [
         "robustness-study", "--quick", "--trials", "1", "--workers", "1",
     ],
@@ -116,9 +138,10 @@ def digest(text: str) -> str:
 
 def load_golden() -> Dict[str, Dict[str, object]]:
     """The checked-in golden entries (empty when missing)."""
-    if not GOLDEN_PATH.exists():
+    path = golden_path()
+    if not path.exists():
         return {}
-    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+    with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     return payload.get("experiments", {})
 
@@ -137,7 +160,7 @@ def write_golden(captures: Dict[str, str]) -> None:
         "profile": "quick",
         "experiments": {name: entries[name] for name in sorted(entries)},
     }
-    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+    with open(golden_path(), "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)
         handle.write("\n")
 

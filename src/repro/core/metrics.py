@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.h2.frames import DataFrame, HeadersFrame
 from repro.h2.server import ResponseInstance
-from repro.tcp.stream import StreamLayout
+from repro.transport.stream import StreamLayout
 from repro.tls.record import TLSRecord
 from repro.tls.session import _Fragment
 

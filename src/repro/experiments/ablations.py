@@ -45,6 +45,7 @@ from repro.h1.server import H1Server
 from repro.h2.mux import FifoScheduler
 from repro.h2.server import ServerConfig
 from repro.netsim.topology import build_adversary_path
+from repro.tcp.config import TCPConfig
 from repro.web.isidewith import HTML_OBJECT_ID
 from repro.web.workload import VolunteerWorkload
 
@@ -652,12 +653,10 @@ class _TcpVariantTrial:
     sack: bool
 
     def __call__(self, trial: int) -> TrialSummary:
-        from repro.tcp.config import TCPConfig as _TCPConfig
-
         workload = VolunteerWorkload(seed=self.seed)
         config = TrialConfig(
             adversary=AdversaryConfig(),
-            tcp=_TCPConfig(congestion_control=self.algorithm, sack=self.sack),
+            tcp=TCPConfig(congestion_control=self.algorithm, sack=self.sack),
         )
         return summarize_trial(trial, workload, config)
 

@@ -33,6 +33,7 @@ from repro.netsim.capture import Direction
 from repro.netsim.faults import FaultSchedule
 from repro.netsim.topology import PathTopology, build_adversary_path
 from repro.simkernel.trace import TraceLog
+from repro.transport import resolve_transport
 from repro.web.browser import Browser, BrowserConfig
 from repro.web.isidewith import IsideWithSite
 from repro.web.site import LoadSchedule
@@ -75,12 +76,19 @@ class TrialConfig:
     settle_time: float = 0.3
     faults: Optional[FaultSchedule] = None
     fault_location: str = "server"
+    #: Transport implementation for the whole stack: an explicit name
+    #: ("tcp"/"quic") pins it; None defers to ``REPRO_TRANSPORT`` / the
+    #: default at run time (resolved per trial, so spawned workers obey
+    #: the environment hop).
+    transport: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.fault_location not in ("server", "client", "both"):
             raise ValueError(
                 f"unknown fault location {self.fault_location!r}"
             )
+        if self.transport is not None:
+            resolve_transport(self.transport)  # fail fast on bad names
 
 
 @dataclass
@@ -106,17 +114,30 @@ class TrialResult:
         """The paper's 'broken connection': the load never finished."""
         return not self.completed
 
+    #: Retransmission trace categories, one per transport.  Exactly one
+    #: is non-zero per trial, so summing keeps TCP trials byte-identical
+    #: while QUIC trials report through the same counters.
+    RETRANSMIT_CATEGORIES = ("tcp.retransmit", "quic.retransmit")
+
     def client_retransmissions(self) -> int:
-        """Client-side TCP retransmissions (Table I's counted quantity)."""
-        return len(
-            self.trace.select(
-                category="tcp.retransmit",
-                predicate=lambda r: str(r.get("conn", "")).startswith("client"),
+        """Client-side retransmissions (Table I's counted quantity)."""
+        return sum(
+            len(
+                self.trace.select(
+                    category=category,
+                    predicate=lambda r: str(r.get("conn", "")).startswith(
+                        "client"
+                    ),
+                )
             )
+            for category in self.RETRANSMIT_CATEGORIES
         )
 
     def total_retransmissions(self) -> int:
-        return self.trace.count(category="tcp.retransmit")
+        return sum(
+            self.trace.count(category=category)
+            for category in self.RETRANSMIT_CATEGORIES
+        )
 
     def duplicate_servings(self) -> int:
         """Response instances spawned by retransmitted (duplicate) GETs."""
@@ -367,6 +388,7 @@ def run_trial(
     sim = topology.sim
     trace = topology.trace
 
+    transport = resolve_transport(config.transport)
     server_tcp = None
     if config.tcp is not None:
         server_tcp = replace(
@@ -382,6 +404,7 @@ def run_trial(
         tcp_config=server_tcp,
         trace=trace,
         rng=rng,
+        transport=transport,
     )
     client = H2Client(
         sim,
@@ -390,6 +413,7 @@ def run_trial(
         tcp_config=config.tcp,
         trace=trace,
         authority="www.isidewith.com",
+        transport=transport,
     )
     schedule = config.schedule_override or site.schedule
     browser = Browser(sim, client, schedule, config=config.browser, trace=trace)

@@ -12,8 +12,8 @@ from repro.netsim.node import Host
 from repro.simkernel.simulator import Simulator
 from repro.simkernel.trace import TraceLog
 from repro.tcp.config import TCPConfig
-from repro.tcp.connection import TCPConnection
 from repro.tls.session import TLSRole, TLSSession
+from repro.transport import get_transport
 
 
 @dataclass
@@ -47,11 +47,12 @@ class H1Client:
         tcp_config: Optional[TCPConfig] = None,
         trace: Optional[TraceLog] = None,
         authority: str = "www.example.com",
+        transport: Optional[str] = None,
     ) -> None:
         self.sim = sim
         self.authority = authority
         self._trace = trace
-        self.tcp = TCPConnection(
+        self.tcp = get_transport(transport).create_connection(
             sim, host, local_port, server,
             config=tcp_config or TCPConfig(),
             trace=trace, name=f"client:{local_port}",

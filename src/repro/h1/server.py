@@ -18,8 +18,8 @@ from repro.simkernel.randomstream import RandomStreams
 from repro.simkernel.simulator import Simulator
 from repro.simkernel.trace import TraceLog
 from repro.tcp.config import TCPConfig
-from repro.tcp.connection import TCPConnection
-from repro.tcp.listener import TCPListener
+from repro.transport import get_transport
+from repro.transport.base import Transport
 from repro.tls.session import TLSRole, TLSSession
 
 _h1_instance_ids = itertools.count(1)
@@ -62,7 +62,7 @@ class H1ResponseInstance:
 class _H1ServedConnection:
     """One client connection: a request queue drained sequentially."""
 
-    def __init__(self, server: "H1Server", tcp: TCPConnection) -> None:
+    def __init__(self, server: "H1Server", tcp: Transport) -> None:
         self.server = server
         self.tcp = tcp
         self.tls = TLSSession(tcp, TLSRole.SERVER, trace=server._trace)
@@ -142,6 +142,7 @@ class H1Server:
         tcp_config: Optional[TCPConfig] = None,
         trace: Optional[TraceLog] = None,
         rng: Optional[RandomStreams] = None,
+        transport: Optional[str] = None,
     ) -> None:
         self.sim = sim
         self.router = router
@@ -149,12 +150,13 @@ class H1Server:
         self._trace = trace
         self._rng = rng
         self.connections: List[_H1ServedConnection] = []
-        self.listener = TCPListener(
+        factory = get_transport(transport)
+        self.listener = factory.create_listener(
             sim, host, port, self._on_accept,
-            config=tcp_config or TCPConfig(), trace=trace,
+            config=factory.server_config(tcp_config, False), trace=trace,
         )
 
-    def _on_accept(self, tcp: TCPConnection) -> None:
+    def _on_accept(self, tcp: Transport) -> None:
         self.connections.append(_H1ServedConnection(self, tcp))
 
     def draw_think_time(self, resource: ResourceSpec) -> float:

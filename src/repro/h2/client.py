@@ -1,6 +1,7 @@
 """The HTTP/2 client endpoint.
 
-A thin, browser-agnostic client: it opens the TCP+TLS+H2 stack, issues
+A thin, browser-agnostic client: it opens the transport+TLS+H2 stack
+(TCP or the QUIC-like transport, selected via ``transport``), issues
 GET requests on new streams, tracks per-stream response progress, and
 can cancel streams with RST_STREAM.  Page-load behaviour (which objects
 to request when, reset-and-retry policies) lives in
@@ -20,8 +21,8 @@ from repro.netsim.node import Host
 from repro.simkernel.simulator import Simulator
 from repro.simkernel.trace import TraceLog
 from repro.tcp.config import TCPConfig
-from repro.tcp.connection import TCPConnection
 from repro.tls.session import TLSRole, TLSSession
+from repro.transport import get_transport
 
 #: Connection-level receive window a browser grants the server.
 BROWSER_CONNECTION_WINDOW = 12 * 1024 * 1024
@@ -61,12 +62,15 @@ class H2Client:
         tcp_config: Optional[TCPConfig] = None,
         trace: Optional[TraceLog] = None,
         authority: str = "www.example.com",
+        transport: Optional[str] = None,
     ) -> None:
         self.sim = sim
         self.authority = authority
         self._trace = trace
         self.settings = settings or firefox_like_settings()
-        self.tcp = TCPConnection(
+        # ``tcp`` keeps its historical name: it is the client's
+        # transport connection, whatever implementation backs it.
+        self.tcp = get_transport(transport).create_connection(
             sim,
             host,
             local_port,
@@ -101,7 +105,7 @@ class H2Client:
         self.h2.on_ready = ready
 
     def connect(self) -> None:
-        """Open the TCP connection (handshakes follow automatically)."""
+        """Open the transport connection (handshakes follow automatically)."""
         self.tcp.connect()
 
     @property

@@ -32,9 +32,9 @@ from repro.simkernel.randomstream import RandomStreams
 from repro.simkernel.simulator import Simulator
 from repro.simkernel.trace import TraceLog
 from repro.tcp.config import TCPConfig
-from repro.tcp.connection import TCPConnection
-from repro.tcp.listener import TCPListener
 from repro.tls.session import TLSRole, TLSSession
+from repro.transport import get_transport
+from repro.transport.base import Transport
 
 _instance_ids = itertools.count(1)
 
@@ -139,7 +139,7 @@ class ResponseInstance:
 class _ServedConnection:
     """Per-client-connection server state."""
 
-    def __init__(self, server: "H2Server", tcp: TCPConnection) -> None:
+    def __init__(self, server: "H2Server", tcp: Transport) -> None:
         self.server = server
         self.tcp = tcp
         self.tls = TLSSession(tcp, TLSRole.SERVER, trace=server._trace)
@@ -243,7 +243,7 @@ class _ServedConnection:
         )
 
     def _emit_headers(self, instance: ResponseInstance, resource: ResourceSpec) -> None:
-        if instance.cancelled or self.tcp.state.value == "CLOSED":
+        if instance.cancelled or self.tcp.is_closed:
             return
         self.h2.send_headers(
             instance.stream_id,
@@ -254,7 +254,7 @@ class _ServedConnection:
         self._emit_chunk(instance)
 
     def _emit_chunk(self, instance: ResponseInstance) -> None:
-        if instance.cancelled or self.tcp.state.value == "CLOSED":
+        if instance.cancelled or self.tcp.is_closed:
             return
         remaining = instance.body_bytes - instance.bytes_emitted
         chunk = min(self.server.config.chunk_bytes, remaining)
@@ -308,6 +308,7 @@ class H2Server:
         scheduler_factory: Optional[Callable[[], MuxScheduler]] = None,
         trace: Optional[TraceLog] = None,
         rng: Optional[RandomStreams] = None,
+        transport: Optional[str] = None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -317,17 +318,17 @@ class H2Server:
         self._trace = trace
         self._rng = rng
         self._scheduler_factory = scheduler_factory or RoundRobinScheduler
-        if tcp_config is None:
-            tcp_config = TCPConfig(
-                deliver_duplicate_messages=self.config.serve_duplicate_requests
-            )
+        factory = get_transport(transport)
+        tcp_config = factory.server_config(
+            tcp_config, self.config.serve_duplicate_requests
+        )
         self._tcp_config = tcp_config
         self.connections: List[_ServedConnection] = []
-        self.listener = TCPListener(
+        self.listener = factory.create_listener(
             sim, host, port, self._on_accept, config=tcp_config, trace=trace
         )
 
-    def _on_accept(self, tcp: TCPConnection) -> None:
+    def _on_accept(self, tcp: Transport) -> None:
         self.connections.append(_ServedConnection(self, tcp))
 
     def draw_think_time(self, resource: ResourceSpec) -> float:

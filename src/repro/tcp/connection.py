@@ -197,6 +197,11 @@ class TCPConnection:
         return self._sim
 
     @property
+    def is_closed(self) -> bool:
+        """Whether the connection has fully terminated (transport API)."""
+        return self.state is TCPState.CLOSED
+
+    @property
     def bytes_in_flight(self) -> int:
         return self.snd_nxt - self.snd_una
 

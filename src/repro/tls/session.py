@@ -1,4 +1,4 @@
-"""TLS sessions over a simulated TCP connection.
+"""TLS sessions over a simulated transport connection.
 
 The session performs a size-realistic handshake (ClientHello,
 ServerHello + certificate chain, Finished messages), then carries
@@ -17,7 +17,7 @@ import enum
 from typing import Any, Callable, List, Optional
 
 from repro.simkernel.trace import TraceLog
-from repro.tcp.connection import TCPConnection
+from repro.transport.base import Transport
 from repro.tls.cipher import AES_128_GCM_TLS12, CipherSpec
 from repro.tls.record import (
     APPLICATION_DATA,
@@ -51,7 +51,7 @@ class _HandshakeMessage:
 
 
 class TLSSession:
-    """One endpoint of a TLS channel layered on TCP.
+    """One endpoint of a TLS channel layered on a transport.
 
     Callbacks:
         on_handshake_complete: the channel is ready for application data.
@@ -62,7 +62,7 @@ class TLSSession:
 
     def __init__(
         self,
-        connection: TCPConnection,
+        connection: Transport,
         role: TLSRole,
         cipher: CipherSpec = AES_128_GCM_TLS12,
         trace: Optional[TraceLog] = None,
@@ -87,7 +87,7 @@ class TLSSession:
             connection.on_established = start_handshake
 
     @property
-    def connection(self) -> TCPConnection:
+    def connection(self) -> Transport:
         return self._connection
 
     # Sending ------------------------------------------------------------

@@ -1,0 +1,119 @@
+"""Transport protocols: what the TLS/HTTP stack needs from a transport.
+
+The protocol stack (``repro.tls``, ``repro.h1``, ``repro.h2``) was
+originally written against ``TCPConnection`` directly.  The surface it
+actually uses is small and message-oriented — connect, send whole
+messages, receive whole messages, observe writability and lifecycle —
+plus a handful of introspection attributes read by the experiment
+harness (``layout``, ``retransmitted_segments``).  These protocols name
+that surface so any transport with per-message delivery semantics can
+carry the stack: TCP's single reliable byte stream
+(:mod:`repro.transport.tcp`) or the QUIC-like datagram transport with
+independent per-stream loss recovery (:mod:`repro.transport.quic`).
+
+``TransportFactory`` is the pluggable entry point: consumers ask the
+registry in :mod:`repro.transport` for a factory by name and build
+connections/listeners through it instead of naming a concrete class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Protocol, runtime_checkable
+
+from repro.transport.stream import StreamLayout
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """One endpoint of a reliable, message-delivering connection.
+
+    Callback attributes (assigned, not passed):
+
+    * ``on_established()`` — handshake complete, messages may flow.
+    * ``on_message(message, duplicate)`` — a whole application message
+      delivered in order; ``duplicate`` is True only for transports
+      with redeliver quirks (TCP's ``deliver_duplicate_messages``).
+    * ``on_close(reset)`` — connection finished; ``reset`` marks an
+      abortive close.
+    * ``on_writable()`` — buffered-byte pressure dropped; senders that
+      paced themselves on ``unacked_buffered_bytes`` may resume.
+    """
+
+    name: str
+    layout: StreamLayout
+    retransmitted_segments: int
+    on_established: Optional[Callable[[], None]]
+    on_message: Optional[Callable[[Any, bool], None]]
+    on_close: Optional[Callable[[bool], None]]
+    on_writable: Optional[Callable[[], None]]
+
+    @property
+    def sim(self) -> Any:
+        """The simulator this connection schedules on."""
+
+    @property
+    def unacked_buffered_bytes(self) -> int:
+        """Bytes accepted from the application but not yet acknowledged."""
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether the connection has fully terminated."""
+
+    def connect(self) -> None:
+        """Start the client-side handshake."""
+
+    def send_message(self, message: Any, length: Optional[int] = None) -> None:
+        """Queue one application message for in-order delivery."""
+
+    def close(self) -> None:
+        """Begin an orderly close."""
+
+    def reset(self) -> None:
+        """Abort the connection immediately."""
+
+
+@runtime_checkable
+class TransportListener(Protocol):
+    """Server-side acceptor: demultiplexes peers into connections."""
+
+    port: int
+    connections: Dict[Any, Any]
+
+    def close(self) -> None:
+        """Stop accepting; existing connections keep running."""
+
+
+class TransportFactory(Protocol):
+    """Builds connections and listeners for one transport implementation."""
+
+    name: str
+
+    def create_connection(
+        self,
+        sim: Any,
+        host: Any,
+        local_port: int,
+        remote: Any,
+        config: Any = None,
+        trace: Any = None,
+        name: str = "",
+    ) -> Transport:
+        """Create an unconnected client-side endpoint bound to ``local_port``."""
+
+    def create_listener(
+        self,
+        sim: Any,
+        host: Any,
+        port: int,
+        on_accept: Callable[[Any], None],
+        config: Any = None,
+        trace: Any = None,
+    ) -> TransportListener:
+        """Create a listener calling ``on_accept(connection)`` per peer."""
+
+    def server_config(self, config: Any, serve_duplicates: bool) -> Any:
+        """Default server-side config when the caller passed ``None``.
+
+        ``serve_duplicates`` carries the server's duplicate-request
+        policy; only TCP has a wire-level redelivery quirk to enable.
+        """

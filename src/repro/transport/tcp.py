@@ -1,0 +1,68 @@
+"""TCP as one transport implementation behind the factory seam.
+
+The concrete machinery stays in :mod:`repro.tcp` untouched — this
+adapter only builds :class:`~repro.tcp.connection.TCPConnection` /
+:class:`~repro.tcp.listener.TCPListener` objects through the
+:class:`~repro.transport.base.TransportFactory` interface, so the TCP
+path is byte-identical to the pre-abstraction code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.netsim.address import Endpoint
+from repro.netsim.node import Host
+from repro.simkernel.simulator import Simulator
+from repro.simkernel.trace import TraceLog
+from repro.tcp.config import TCPConfig
+from repro.tcp.connection import TCPConnection
+from repro.tcp.listener import TCPListener
+from repro.transport import register_transport
+
+
+class TCPFactory:
+    """Factory for the original reliable-byte-stream transport."""
+
+    name = "tcp"
+
+    def create_connection(
+        self,
+        sim: Simulator,
+        host: Host,
+        local_port: int,
+        remote: Endpoint,
+        config: Optional[TCPConfig] = None,
+        trace: Optional[TraceLog] = None,
+        name: str = "",
+    ) -> TCPConnection:
+        return TCPConnection(
+            sim,
+            host,
+            local_port,
+            remote,
+            config=config,
+            trace=trace,
+            name=name,
+        )
+
+    def create_listener(
+        self,
+        sim: Simulator,
+        host: Host,
+        port: int,
+        on_accept: Callable[[TCPConnection], None],
+        config: Optional[TCPConfig] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> TCPListener:
+        return TCPListener(sim, host, port, on_accept, config=config, trace=trace)
+
+    def server_config(self, config: Any, serve_duplicates: bool) -> TCPConfig:
+        if config is not None:
+            return config
+        # The wire-level redelivery quirk follows the server's
+        # duplicate-request policy, exactly as H2Server defaulted it.
+        return TCPConfig(deliver_duplicate_messages=serve_duplicates)
+
+
+register_transport(TCPFactory())

@@ -92,6 +92,7 @@ def _smoke(capsys, argv):
 FAST_EXPERIMENTS = [
     "baseline", "table1", "table2", "fig1", "fig5", "fig6",
     "delay", "trigger", "partialmux", "fingerprint", "attack", "profile",
+    "transport-study",
 ]
 
 SLOW_EXPERIMENTS = ["ablations", "streaming", "generalization"]
@@ -112,6 +113,19 @@ def test_heavy_experiment_smoke(capsys, experiment):
                                 "--workers", "1"])
     assert code == 0
     assert out.strip()
+
+
+def test_transport_flag_exports_environment(capsys, monkeypatch):
+    import os
+
+    # setenv (not delenv) so teardown restores the pre-test state even
+    # though cli.main writes the variable itself.
+    monkeypatch.setenv("REPRO_TRANSPORT", "tcp")
+    code, out = _smoke(capsys, ["fig1", "--transport", "quic"])
+    assert code == 0
+    # Mirrors --backend: the choice is exported so campaign workers
+    # and env-resolving constructors inherit it.
+    assert os.environ.get("REPRO_TRANSPORT") == "quic"
 
 
 def test_scorecard_smoke(capsys):

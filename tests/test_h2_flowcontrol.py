@@ -1,0 +1,172 @@
+"""Flow-control edge cases: exhaustion, reopen, window interaction.
+
+Unit tests pin :class:`~repro.h2.flowcontrol.FlowControlWindow` at its
+boundaries; the integration tests drive the full client/server stack
+through transfers that *require* WINDOW_UPDATE replenishment (bodies
+larger than the 65535-byte RFC 7540 default) and check the connection
+window and per-stream windows gate DATA emission independently.
+"""
+
+import pytest
+
+from repro.h2.client import H2Client
+from repro.h2.errors import H2Error, H2ErrorCode
+from repro.h2.frames import DataFrame
+from repro.h2.server import H2Server, ResourceSpec, ServerConfig
+from repro.h2.settings import MAX_WINDOW_SIZE
+from repro.h2.flowcontrol import FlowControlWindow
+from repro.netsim.topology import build_adversary_path
+
+RESOURCES = {
+    "/index.html": ResourceSpec("/index.html", 9500, "text/html"),
+    "/big.js": ResourceSpec("/big.js", 200_000, "application/javascript"),
+    "/also-big.js": ResourceSpec(
+        "/also-big.js", 150_000, "application/javascript"
+    ),
+}
+
+
+def _stack(seed=21):
+    topology = build_adversary_path(seed=seed)
+    server = H2Server(
+        topology.sim, topology.server, 443,
+        lambda path: RESOURCES.get(path),
+        config=ServerConfig(), trace=topology.trace,
+    )
+    client = H2Client(
+        topology.sim, topology.client, topology.server.endpoint(443),
+        trace=topology.trace, authority="test.example",
+    )
+    return topology, server, client
+
+
+# ---------------------------------------------------------------------------
+# FlowControlWindow boundaries
+# ---------------------------------------------------------------------------
+
+
+def test_exhaustion_to_exactly_zero_then_blocked():
+    window = FlowControlWindow(1000)
+    window.consume(1000)
+    assert window.available == 0
+    window.consume(0)  # zero-byte spend is always legal
+    with pytest.raises(H2Error) as excinfo:
+        window.consume(1)
+    assert excinfo.value.code is H2ErrorCode.FLOW_CONTROL_ERROR
+
+
+def test_window_update_reopens_exhausted_window():
+    window = FlowControlWindow(100)
+    window.consume(100)
+    window.replenish(40)
+    assert window.available == 40
+    window.consume(40)
+    assert window.available == 0
+
+
+def test_replenish_to_exact_maximum_is_legal():
+    window = FlowControlWindow(0)
+    window.replenish(MAX_WINDOW_SIZE)
+    assert window.available == MAX_WINDOW_SIZE
+    with pytest.raises(H2Error):
+        window.replenish(1)
+
+
+def test_adjust_initial_overflow_raises():
+    window = FlowControlWindow(MAX_WINDOW_SIZE - 10)
+    with pytest.raises(H2Error) as excinfo:
+        window.adjust_initial(11)
+    assert excinfo.value.code is H2ErrorCode.FLOW_CONTROL_ERROR
+
+
+# ---------------------------------------------------------------------------
+# Connection vs stream window gating (H2Connection._can_send)
+# ---------------------------------------------------------------------------
+
+
+def _ready_connection():
+    """A connected client whose h2 connection finished its preface."""
+    topology, server, client = _stack()
+    client.on_ready = lambda: None
+    client.connect()
+    topology.sim.run_until(2.0)
+    assert client.h2.ready
+    return topology, client
+
+
+def test_connection_window_exhaustion_blocks_every_stream():
+    topology, client = _ready_connection()
+    conn = client.h2
+    handle = client.get("/big.js")
+    topology.sim.run_until(2.01)
+    assert not conn.streams[handle.stream_id].closed
+    frame = DataFrame(stream_id=handle.stream_id, data_bytes=100)
+    assert conn._can_send(frame)
+    conn.connection_send_window.consume(conn.connection_send_window.available)
+    assert not conn._can_send(frame)
+    conn.connection_send_window.replenish(100)
+    assert conn._can_send(frame)
+
+
+def test_stream_window_exhaustion_blocks_only_that_stream():
+    topology, client = _ready_connection()
+    conn = client.h2
+    first = client.get("/big.js")
+    second = client.get("/also-big.js")
+    topology.sim.run_until(2.01)
+    assert not conn.streams[first.stream_id].closed
+    starved = conn.streams[first.stream_id]
+    starved.send_window.consume(starved.send_window.available)
+    assert not conn._can_send(DataFrame(stream_id=first.stream_id,
+                                        data_bytes=1))
+    # The sibling stream and the connection window are untouched.
+    assert conn._can_send(DataFrame(stream_id=second.stream_id,
+                                    data_bytes=1))
+    starved.send_window.replenish(10)
+    assert conn._can_send(DataFrame(stream_id=first.stream_id, data_bytes=1))
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: transfers larger than the initial windows
+# ---------------------------------------------------------------------------
+
+
+def _window_updates_sent(client):
+    """WINDOW_UPDATE records the client committed to its send stream."""
+    layout = client.tcp.layout
+    return [
+        span for span in layout.spans_completed_by(layout.next_seq)
+        if getattr(getattr(span.message, "payload", None), "type_name", "")
+        == "WINDOWUPDATE"
+    ]
+
+
+def test_large_body_requires_and_gets_window_updates():
+    # 200 kB > the 65535-byte default for both the stream and the
+    # connection window: the transfer can only finish because the
+    # client replenishes both as it drains data.
+    topology, server, client = _stack()
+    done = []
+    client.on_ready = lambda: setattr(
+        client.get("/big.js"), "on_complete", done.append
+    )
+    client.connect()
+    topology.sim.run_until(15.0)
+    assert len(done) == 1
+    assert done[0].received_bytes == 200_000
+    assert _window_updates_sent(client)
+
+
+def test_concurrent_large_bodies_share_connection_window():
+    # Each body alone fits the budget dance; together they exhaust the
+    # shared connection window repeatedly.  Both must still complete —
+    # per-stream accounting must not starve either one.
+    topology, server, client = _stack()
+    def go():
+        client.get("/big.js")
+        client.get("/also-big.js")
+    client.on_ready = go
+    client.connect()
+    topology.sim.run_until(25.0)
+    sizes = {h.path: h.received_bytes for h in client.handles.values()}
+    assert sizes == {"/big.js": 200_000, "/also-big.js": 150_000}
