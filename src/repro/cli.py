@@ -12,6 +12,8 @@ Runs any of the paper's experiments and prints its table:
     python -m repro ablations          # all five E8 studies
     python -m repro attack --trial 3   # one annotated session
     python -m repro table1 --trials 100 --workers 8   # parallel trials
+    python -m repro infer-study --trials 12           # E19 frontier
+    python -m repro infer --sessions 500 --workers 8  # frontier at scale
 
 Worker processes (``--workers`` / ``REPRO_WORKERS``) parallelize trial
 execution; results are bit-identical for any worker count.
@@ -40,12 +42,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "delay", "ablations", "attack", "trigger", "streaming",
             "partialmux", "generalization", "fingerprint", "scorecard",
             "transport-study", "profile", "robustness-study", "verify",
-            "campaign", "chaos",
+            "campaign", "chaos", "infer-study", "infer",
         ],
         help="which paper experiment to run (`verify` for the "
              "conformance & golden-master harness, `campaign` for the "
              "population-scale sharded campaign engine, `chaos` for the "
-             "fault-injection recovery scenarios)",
+             "fault-injection recovery scenarios, `infer-study` for the "
+             "E19 inference-vs-defenses frontier, `infer` for the same "
+             "frontier at campaign scale)",
     )
     parser.add_argument(
         "--trials", type=int, default=25,
@@ -110,7 +114,7 @@ def _build_parser() -> argparse.ArgumentParser:
     robustness.add_argument(
         "--json", type=str, default=None, metavar="PATH", dest="json_out",
         help="also write the study/campaign result as JSON to this path "
-             "(robustness-study and campaign)",
+             "(robustness-study, campaign and infer)",
     )
     robustness.add_argument(
         "--trial-timeout", type=float, default=None,
@@ -126,12 +130,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--sessions", type=int, default=None,
-        help="total seeded sessions in the campaign (default 100000)",
+        help="total seeded sessions in the campaign "
+             "(default 100000; infer: 2000)",
     )
     campaign.add_argument(
         "--shard-size", type=int, default=None,
         help="consecutive sessions per shard; peak memory scales with "
-             "sessions/shard-size, not with sessions (default 2000)",
+             "sessions/shard-size, not with sessions "
+             "(default 2000; infer: 250)",
     )
     campaign.add_argument(
         "--mode", choices=["analytic", "full"], default=None,
@@ -141,11 +147,14 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--checkpoint-dir", type=str, default=None, metavar="DIR",
         help="stream completed shard summaries into a checkpoint here; "
-             "re-running the same campaign resumes bit-identically",
+             "re-running the same campaign (or infer run) resumes "
+             "bit-identically",
     )
     campaign.add_argument(
         "--max-objects", type=int, default=None,
-        help="upper bound of the zipf per-page object count (default 96)",
+        help="upper bound of the zipf per-page object count "
+             "(campaign default 96); for infer-study/infer: classes "
+             "per page (defaults 8 / 6)",
     )
     campaign.add_argument(
         "--count-exponent", type=float, default=None,
@@ -175,6 +184,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--failure-manifest", type=str, default=None, metavar="PATH",
         help="write a machine-readable JSON failure manifest here on "
              "every supervised outcome (complete, partial or failed)",
+    )
+    infer = parser.add_argument_group(
+        "infer options",
+        "statistical size inference vs defenses "
+        "(`repro infer-study` and `repro infer`)",
+    )
+    infer.add_argument(
+        "--reps", type=int, default=None,
+        help="attacker training fetches per object "
+             "(default: 3 for infer-study, 2 for infer)",
+    )
+    infer.add_argument(
+        "--defenses", type=str, default=None, metavar="NAMES",
+        help="comma-separated defense-level names to sweep, ladder order "
+             "(default: all registered levels)",
+    )
+    infer.add_argument(
+        "--classifiers", type=str, default=None, metavar="NAMES",
+        help="comma-separated classifier registry names to evaluate "
+             "(default: all registered classifiers)",
     )
     chaos = parser.add_argument_group(
         "chaos options",
@@ -240,18 +269,32 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
                 f"(got experiment {args.experiment!r})"
             )
     if args.json_out is not None and args.experiment not in (
-        "robustness-study", "campaign"
+        "robustness-study", "campaign", "infer"
     ):
         parser.error(
-            f"--json only applies to robustness-study and campaign "
+            f"--json only applies to robustness-study, campaign and infer "
             f"(got experiment {args.experiment!r})"
         )
-    campaign_only = (
+    sharded = (
         ("--sessions", args.sessions is not None),
         ("--shard-size", args.shard_size is not None),
-        ("--mode", args.mode is not None),
         ("--checkpoint-dir", args.checkpoint_dir is not None),
-        ("--max-objects", args.max_objects is not None),
+    )
+    for flag, given in sharded:
+        if given and args.experiment not in ("campaign", "infer"):
+            parser.error(
+                f"{flag} only applies to campaign and infer "
+                f"(got experiment {args.experiment!r})"
+            )
+    if args.max_objects is not None and args.experiment not in (
+        "campaign", "infer", "infer-study"
+    ):
+        parser.error(
+            f"--max-objects only applies to campaign, infer and "
+            f"infer-study (got experiment {args.experiment!r})"
+        )
+    campaign_only = (
+        ("--mode", args.mode is not None),
         ("--count-exponent", args.count_exponent is not None),
         ("--size-exponent", args.size_exponent is not None),
         ("--allow-partial", args.allow_partial),
@@ -263,6 +306,17 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
         if given and args.experiment != "campaign":
             parser.error(
                 f"{flag} only applies to the campaign experiment "
+                f"(got experiment {args.experiment!r})"
+            )
+    infer_only = (
+        ("--reps", args.reps is not None),
+        ("--defenses", args.defenses is not None),
+        ("--classifiers", args.classifiers is not None),
+    )
+    for flag, given in infer_only:
+        if given and args.experiment not in ("infer-study", "infer"):
+            parser.error(
+                f"{flag} only applies to infer-study and infer "
                 f"(got experiment {args.experiment!r})"
             )
     if args.scenario is not None and args.experiment != "chaos":
@@ -415,6 +469,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             trials=max(2, args.trials // 8), seed=args.seed,
             workers=args.workers,
         ).render())
+    elif args.experiment == "infer-study":
+        from repro.experiments import infer_study
+        try:
+            design = _infer_design(args)
+        except ValueError as error:
+            parser.error(str(error))
+        print(infer_study.run(
+            trials=args.trials, workers=args.workers, design=design,
+        ).render())
+    elif args.experiment == "infer":
+        return _run_infer(args)
     elif args.experiment == "robustness-study":
         return _run_robustness_study(args, workers)
     elif args.experiment == "campaign":
@@ -601,6 +666,94 @@ def _run_campaign(args) -> int:
         print(note, file=sys.stderr)
         print(render_shard_errors(config, result.errors), file=sys.stderr)
         return 3
+    return 0
+
+
+def _infer_overrides(args) -> dict:
+    """Shared --reps/--defenses/--classifiers/--max-objects parsing."""
+    overrides = {}
+    if args.reps is not None:
+        overrides["reps"] = args.reps
+    if args.max_objects is not None:
+        overrides["max_objects"] = args.max_objects
+    if args.defenses:
+        overrides["levels"] = tuple(
+            name for name in args.defenses.split(",") if name
+        )
+    if args.classifiers:
+        overrides["classifiers"] = tuple(
+            name for name in args.classifiers.split(",") if name
+        )
+    return overrides
+
+
+def _infer_design(args):
+    """Build the E19 study design from CLI flags (may raise ValueError)."""
+    from repro.infer.dataset import StudyDesign
+
+    return StudyDesign(seed=args.seed, **_infer_overrides(args))
+
+
+def _run_infer(args) -> int:
+    """``repro infer``: the accuracy/overhead frontier at campaign scale.
+
+    Same determinism contract as ``repro campaign``: stdout (the
+    frontier table) and ``--json`` output are bit-identical across
+    worker counts and kill/resume; throughput and resume history go to
+    stderr only.  Exit codes: 0 complete, 1 shard failure, 2 bad
+    arguments.
+    """
+    import json as json_module
+    import time
+
+    from repro import profiling
+    from repro.infer.campaign import (
+        InferCampaignConfig,
+        InferCampaignError,
+        run_infer_campaign,
+    )
+
+    try:
+        config = InferCampaignConfig(
+            sessions=args.sessions if args.sessions is not None else 2_000,
+            shard_size=(
+                args.shard_size if args.shard_size is not None else 250
+            ),
+            seed=args.seed,
+            **_infer_overrides(args),
+        )
+        config.design()  # validates classifier names before workers start
+    except ValueError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    try:
+        result = run_infer_campaign(
+            config,
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    except InferCampaignError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    print(result.render())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json_module.dump(result.to_json(), handle, indent=2,
+                             sort_keys=True)
+            handle.write("\n")
+    rate = config.sessions / elapsed if elapsed > 0 else 0.0
+    print(
+        f"repro infer: {config.sessions} sessions in {elapsed:.1f}s "
+        f"({rate:,.0f}/s), {result.shards} shards, {result.workers} "
+        f"worker(s), {result.resumed_shards} shard(s) resumed, peak RSS "
+        f"{profiling.peak_rss_kb():,} KB",
+        file=sys.stderr,
+    )
     return 0
 
 

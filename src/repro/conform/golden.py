@@ -80,6 +80,10 @@ EXPERIMENTS: Dict[str, List[str]] = {
     "robustness-study": [
         "robustness-study", "--quick", "--trials", "1", "--workers", "1",
     ],
+    # The E19 frontier is pure integer arithmetic over counter streams:
+    # its stdout is independent of transport and backend, and the
+    # determinism matrix additionally pins workers-4 and kill-resume.
+    "infer-study": ["infer-study", "--trials", "2", "--workers", "1"],
 }
 
 #: The ``--quick`` golden subset (fast, and spanning three different

@@ -85,6 +85,15 @@ class ServerConfig:
         serve_duplicate_requests: the paper's quirk (see module doc).
         send_buffer_limit: TCP send-buffer bytes the connection may keep
             unacknowledged before the write pump pauses.
+        pad_block: per-record padding defense — every TLS application
+            record's plaintext is padded to this block boundary
+            (0 disables; see :mod:`repro.infer.defenses`).
+        chaff_records / chaff_plaintext / chaff_interval: after each
+            completed response, emit this many dummy TLS records of
+            this plaintext size, spaced by this interval (0 disables).
+        pipeline_responses: serialize response emission — a response's
+            HEADERS wait until every earlier response on the connection
+            has finished, trading multiplexing (the leak) for latency.
     """
 
     think_time: float = 0.001
@@ -92,6 +101,11 @@ class ServerConfig:
     chunk_interval: float = 0.0004
     serve_duplicate_requests: bool = True
     send_buffer_limit: int = 128 * 1024
+    pad_block: int = 0
+    chaff_records: int = 0
+    chaff_plaintext: int = 1024
+    chaff_interval: float = 0.0004
+    pipeline_responses: bool = False
     #: Server-push associations: when a request for a key path is
     #: served (not a duplicate), the listed paths are pushed on
     #: promised streams, in order.  The §VII push defense builds on
@@ -103,6 +117,10 @@ class ServerConfig:
             raise ValueError("chunk size must be positive")
         if self.think_time < 0 or self.chunk_interval < 0:
             raise ValueError("delays must be non-negative")
+        if self.pad_block < 0 or self.chaff_records < 0:
+            raise ValueError("defense knobs must be non-negative")
+        if self.chaff_plaintext <= 0 or self.chaff_interval < 0:
+            raise ValueError("bad chaff shape")
 
 
 @dataclass(eq=False)  # identity semantics: each serving is unique
@@ -142,7 +160,10 @@ class _ServedConnection:
     def __init__(self, server: "H2Server", tcp: Transport) -> None:
         self.server = server
         self.tcp = tcp
-        self.tls = TLSSession(tcp, TLSRole.SERVER, trace=server._trace)
+        self.tls = TLSSession(
+            tcp, TLSRole.SERVER, trace=server._trace,
+            pad_block=server.config.pad_block,
+        )
         self.h2 = H2Connection(
             self.tls,
             H2Role.SERVER,
@@ -153,6 +174,13 @@ class _ServedConnection:
             name=f"h2-server:{tcp.remote}",
         )
         self.instances: List[ResponseInstance] = []
+        # Pipelining defense state: the instance currently emitting and
+        # the FIFO of (instance, resource, queued_at) behind it.
+        self._active_instance: Optional[ResponseInstance] = None
+        self._response_queue: List[Tuple[ResponseInstance, ResourceSpec, float]] = []
+        #: Total simulated seconds responses spent queued (the latency
+        #: cost the pipelining defense reports).
+        self.pipeline_wait_s = 0.0
         self.h2.on_headers = self._on_request
         self.h2.on_rst_stream = self._on_rst
 
@@ -245,6 +273,16 @@ class _ServedConnection:
     def _emit_headers(self, instance: ResponseInstance, resource: ResourceSpec) -> None:
         if instance.cancelled or self.tcp.is_closed:
             return
+        if self.server.config.pipeline_responses:
+            if (
+                self._active_instance is not None
+                and self._active_instance is not instance
+            ):
+                self._response_queue.append(
+                    (instance, resource, self.server.sim.now)
+                )
+                return
+            self._active_instance = instance
         self.h2.send_headers(
             instance.stream_id,
             self.server.response_headers(resource),
@@ -255,6 +293,8 @@ class _ServedConnection:
 
     def _emit_chunk(self, instance: ResponseInstance) -> None:
         if instance.cancelled or self.tcp.is_closed:
+            if instance is self._active_instance:
+                self._advance_pipeline()
             return
         remaining = instance.body_bytes - instance.bytes_emitted
         chunk = min(self.server.config.chunk_bytes, remaining)
@@ -274,16 +314,49 @@ class _ServedConnection:
                 object=instance.object_id,
                 duplicate=instance.duplicate,
             )
+            self._emit_chaff()
+            if instance is self._active_instance:
+                self._advance_pipeline()
         else:
             self.server.sim.schedule(
                 self.server.config.chunk_interval,
                 lambda: self._emit_chunk(instance),
             )
 
+    def _advance_pipeline(self) -> None:
+        """Start the next queued response (pipelining defense)."""
+        self._active_instance = None
+        while self._response_queue:
+            instance, resource, queued_at = self._response_queue.pop(0)
+            if instance.cancelled:
+                continue
+            self.pipeline_wait_s += self.server.sim.now - queued_at
+            self._emit_headers(instance, resource)
+            return
+
+    def _emit_chaff(self) -> None:
+        """Schedule the configured chaff records after a response."""
+        config = self.server.config
+        for slot in range(config.chaff_records):
+            self.server.sim.schedule(
+                config.chaff_interval * (slot + 1),
+                self._send_one_chaff,
+            )
+
+    def _send_one_chaff(self) -> None:
+        if self.tcp.is_closed or not self.tls.handshake_complete:
+            return
+        self.tls.send_chaff(self.server.config.chaff_plaintext)
+
     def _on_rst(self, stream_id: int, code: H2ErrorCode) -> None:
         for instance in self.instances:
             if instance.stream_id == stream_id and not instance.complete:
                 instance.cancelled = True
+        if (
+            self._active_instance is not None
+            and self._active_instance.cancelled
+        ):
+            self._advance_pipeline()
         self.server._record("h2.server_rst", stream=stream_id, code=int(code))
 
 

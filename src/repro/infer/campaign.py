@@ -1,0 +1,202 @@
+"""Frontier-at-scale: the inference study on the campaign executor.
+
+``repro infer`` evaluates the accuracy/overhead frontier over many
+zipf page-population sessions using the same shard → worker → session
+machinery as :mod:`repro.campaign.engine`: picklable shard tasks on
+:class:`~repro.experiments.executor.TrialExecutor`, integer summary
+folds that merge exactly at any split, config-digest-sealed shard
+checkpoints, and deterministic same-seed retries — so a SIGKILLed run
+resumes to a bit-identical frontier (the ``infer-smoke`` CI job pins
+that end to end).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.executor import (
+    FaultTolerance,
+    TrialError,
+    TrialExecutor,
+    heartbeat,
+)
+from repro.infer.classifiers import classifier_names
+from repro.infer.dataset import StudyDesign, evaluate_session
+from repro.infer.defenses import defense_level, defense_level_names
+from repro.infer.summary import FORMAT, InferSummary
+
+#: Matches the campaign engine's deterministic retry backoff
+#: (``REPRO_BACKOFF`` overrides; tests/CI set 0).
+DEFAULT_BACKOFF_BASE = 0.05
+
+
+@dataclass(frozen=True)
+class InferCampaignConfig:
+    """Parameters of one at-scale frontier run.
+
+    Attributes:
+        sessions: page-population sessions evaluated.
+        shard_size: sessions per shard (the checkpoint/retry unit).
+        seed: master seed of the study design.
+        reps: attacker training fetches per object.
+        max_objects: classes per page.
+        levels / classifiers: the swept axes (names).
+    """
+
+    sessions: int = 2_000
+    shard_size: int = 250
+    seed: int = 2020
+    reps: int = 2
+    max_objects: int = 6
+    levels: tuple = defense_level_names()
+    classifiers: tuple = classifier_names()
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1 or self.shard_size < 1:
+            raise ValueError("sessions and shard_size must be positive")
+        for name in self.levels:
+            defense_level(name)
+
+    @property
+    def shard_count(self) -> int:
+        return -(-self.sessions // self.shard_size)
+
+    def shard_range(self, shard: int) -> range:
+        start = shard * self.shard_size
+        return range(start, min(start + self.shard_size, self.sessions))
+
+    def design(self) -> StudyDesign:
+        return StudyDesign(
+            seed=self.seed,
+            reps=self.reps,
+            max_objects=self.max_objects,
+            levels=tuple(self.levels),
+            classifiers=tuple(self.classifiers),
+        )
+
+    def digest(self) -> str:
+        """Short config identity (seals checkpoints, like the campaign)."""
+        return hashlib.sha256(repr(self).encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class InferShardTask:
+    """Picklable worker task: fold one shard's sessions to summary JSON."""
+
+    config: InferCampaignConfig
+
+    def __call__(self, shard: int) -> Dict[str, Any]:
+        design = self.config.design()
+        summary = InferSummary(design.levels, design.classifiers)
+        heartbeat()
+        for session in self.config.shard_range(shard):
+            summary.fold(evaluate_session(session, design))
+            heartbeat()
+        return summary.to_json()
+
+
+class InferCampaignError(RuntimeError):
+    """A shard exhausted its retries; the frontier would be wrong."""
+
+    def __init__(self, errors: List[TrialError]) -> None:
+        shards = ", ".join(str(error.trial) for error in errors)
+        super().__init__(
+            f"{len(errors)} infer shard(s) failed after retries: {shards}"
+        )
+        self.errors = errors
+
+
+@dataclass
+class InferCampaignResult:
+    """Merged frontier plus run metadata."""
+
+    config: InferCampaignConfig
+    summary: InferSummary
+    shards: int
+    workers: int
+    resumed_shards: int = 0
+    errors: List[TrialError] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        # Worker count and resume history are deliberately excluded:
+        # the JSON must be bit-identical however the run was executed.
+        return {
+            "format": FORMAT,
+            "config_digest": self.config.digest(),
+            "sessions": self.config.sessions,
+            "shards": self.shards,
+            "summary": self.summary.to_json(),
+            "summary_digest": self.summary.digest(),
+        }
+
+    def render(self) -> str:
+        from repro.experiments.infer_study import InferStudyResult
+
+        table = InferStudyResult(
+            design=self.config.design(), summary=self.summary
+        ).render()
+        # Resume/worker history stays off stdout (stderr in the CLI):
+        # the rendered frontier must diff clean across kill/resume.
+        return (
+            table
+            + f"\nshards={self.shards} digest={self.summary.digest()[:12]}"
+        )
+
+
+def checkpoint_path(config: InferCampaignConfig, checkpoint_dir: str) -> str:
+    """The run's shard-checkpoint file (config-digest-derived name)."""
+    return os.path.join(checkpoint_dir, f"infer-{config.digest()}.json")
+
+
+def run_infer_campaign(
+    config: InferCampaignConfig,
+    workers: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    retries: int = 1,
+) -> InferCampaignResult:
+    """Run (or resume) the frontier at scale and merge its shards.
+
+    Raises:
+        InferCampaignError: when a shard exhausted its retries.
+    """
+    executor = TrialExecutor(workers=workers)
+    task = InferShardTask(config)
+    fault_tolerance = None
+    resumed = 0
+    if checkpoint_dir:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        path = checkpoint_path(config, checkpoint_dir)
+        if os.path.exists(path):
+            from repro.experiments.executor import Checkpoint
+
+            resumed = len(Checkpoint(path, config_digest=config.digest()))
+        fault_tolerance = FaultTolerance(
+            retries=retries,
+            checkpoint_path=path,
+            checkpoint_every=1,
+            checkpoint_digest=config.digest(),
+            backoff_base=DEFAULT_BACKOFF_BASE,
+            backoff_seed=config.digest(),
+        )
+    outcomes = executor.map_trials(
+        config.shard_count, task, fault_tolerance=fault_tolerance
+    )
+    errors = [item for item in outcomes if isinstance(item, TrialError)]
+    if errors:
+        raise InferCampaignError(errors)
+    design = config.design()
+    summary = InferSummary(design.levels, design.classifiers)
+    # map_trials returns in shard order: the left fold below is the
+    # canonical merge order at any worker count.
+    for payload in outcomes:
+        summary.merge(InferSummary.from_json(payload))
+    return InferCampaignResult(
+        config=config,
+        summary=summary,
+        shards=config.shard_count,
+        workers=executor.workers,
+        resumed_shards=resumed,
+    )

@@ -1,0 +1,355 @@
+"""Pluggable object classifiers behind a registry.
+
+Each classifier consumes the integer feature vectors of
+:mod:`repro.infer.features` and implements ``fit`` / ``predict`` /
+``model_digest``.  Three statistical models (nearest-centroid, k-NN,
+multinomial logistic) are implemented directly in numpy — no new
+runtime dependencies — alongside the paper's exact-match baseline,
+so the frontier table compares the attack the paper ran against the
+attack it did not.
+
+Determinism contract:
+
+* a classifier is constructed from an integer seed only; fitting the
+  same data with the same seed yields a bit-identical model (pinned by
+  ``model_digest()``, a SHA-256 over the canonical parameter bytes);
+* every matrix product goes through ``np.einsum`` rather than BLAS
+  ``dot`` — einsum's fixed-order reduction loops are reproducible
+  across numpy builds, where a threaded BLAS dgemm need not be;
+* ties break toward the smallest label everywhere.
+
+Registering a new classifier::
+
+    @register_classifier("myclf")
+    def _build(seed: int) -> Classifier:
+        return MyClassifier(seed)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.simkernel.randomstream import CounterStream
+
+#: Label returned by the exact-match baseline when nothing matches
+#: within tolerance — always counted as a miss.
+UNMATCHED = -1
+
+
+class Classifier:
+    """Fit/predict interface over integer feature vectors."""
+
+    name = "base"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def fit(
+        self, features: Sequence[Sequence[int]], labels: Sequence[int]
+    ) -> "Classifier":
+        raise NotImplementedError
+
+    def predict(self, features: Sequence[Sequence[int]]) -> List[int]:
+        raise NotImplementedError
+
+    def model_digest(self) -> str:
+        """SHA-256 over the canonical bytes of the fitted parameters."""
+        digest = hashlib.sha256()
+        digest.update(f"{self.name}|seed={self.seed}".encode("utf-8"))
+        for array in self._parameter_arrays():
+            arr = np.ascontiguousarray(array)
+            digest.update(
+                f"|{arr.dtype.str}{arr.shape}".encode("utf-8")
+            )
+            digest.update(arr.tobytes())
+        return digest.hexdigest()
+
+    def _parameter_arrays(self) -> List[np.ndarray]:
+        raise NotImplementedError
+
+
+def _as_matrix(features: Sequence[Sequence[int]]) -> np.ndarray:
+    matrix = np.asarray(features, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("features must be a 2-D batch of vectors")
+    return matrix
+
+
+def _standardize_stats(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    mean = matrix.mean(axis=0)
+    centered = matrix - mean
+    scale = np.sqrt((centered * centered).mean(axis=0))
+    scale[scale == 0.0] = 1.0
+    return mean, scale
+
+
+def _squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise squared euclidean distances, (len(a), len(b)).
+
+    Computed by explicit difference-and-sum (numpy pairwise reduction,
+    deterministic) instead of the usual ``|a|² + |b|² - 2ab`` BLAS trick.
+    """
+    diff = a[:, None, :] - b[None, :, :]
+    return np.einsum("ijk,ijk->ij", diff, diff)
+
+
+class ExactMatchClassifier(Classifier):
+    """The paper's baseline: near-exact total-size matching.
+
+    Fit records the integer median observed total (feature index 1) per
+    label; predict matches an observation to the label whose recorded
+    total is closest, *if* within ``max(tolerance_abs, 5 % of the
+    recorded total)`` — the tolerance rule of
+    :class:`repro.core.predictor.SizePredictor` — and to
+    :data:`UNMATCHED` otherwise.  Multiplexing contamination pushes
+    observed totals outside that band, which is exactly the weakness
+    the statistical classifiers exploit.
+    """
+
+    name = "exact"
+    TOLERANCE_ABS = 350
+    TOLERANCE_PERMILLE = 50  # 5 %
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._labels: List[int] = []
+        self._totals: List[int] = []
+
+    def fit(self, features, labels) -> "ExactMatchClassifier":
+        per_label: Dict[int, List[int]] = {}
+        for vector, label in zip(features, labels):
+            per_label.setdefault(int(label), []).append(int(vector[1]))
+        self._labels = sorted(per_label)
+        self._totals = []
+        for label in self._labels:
+            totals = sorted(per_label[label])
+            # Lower median keeps the parameter an exact integer.
+            self._totals.append(totals[(len(totals) - 1) // 2])
+        return self
+
+    def predict(self, features) -> List[int]:
+        predictions = []
+        for vector in features:
+            observed = int(vector[1])
+            best_label = UNMATCHED
+            best_error = None
+            for label, expected in zip(self._labels, self._totals):
+                error = abs(observed - expected)
+                tolerance = max(
+                    self.TOLERANCE_ABS,
+                    self.TOLERANCE_PERMILLE * expected // 1000,
+                )
+                if error > tolerance:
+                    continue
+                if best_error is None or error < best_error:
+                    best_error = error
+                    best_label = label
+            predictions.append(best_label)
+        return predictions
+
+    def _parameter_arrays(self) -> List[np.ndarray]:
+        return [
+            np.asarray(self._labels, dtype=np.int64),
+            np.asarray(self._totals, dtype=np.int64),
+        ]
+
+
+class NearestCentroidClassifier(Classifier):
+    """Per-class mean in standardized feature space; nearest wins."""
+
+    name = "centroid"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._labels = np.zeros(0, dtype=np.int64)
+        self._mean = np.zeros(0)
+        self._scale = np.ones(0)
+        self._centroids = np.zeros((0, 0))
+
+    def fit(self, features, labels) -> "NearestCentroidClassifier":
+        matrix = _as_matrix(features)
+        label_array = np.asarray(labels, dtype=np.int64)
+        self._mean, self._scale = _standardize_stats(matrix)
+        scaled = (matrix - self._mean) / self._scale
+        self._labels = np.unique(label_array)
+        self._centroids = np.stack([
+            scaled[label_array == label].mean(axis=0)
+            for label in self._labels
+        ])
+        return self
+
+    def predict(self, features) -> List[int]:
+        scaled = (_as_matrix(features) - self._mean) / self._scale
+        distances = _squared_distances(scaled, self._centroids)
+        # argmin returns the first minimum; labels are sorted, so ties
+        # break toward the smallest label.
+        return [int(self._labels[i]) for i in distances.argmin(axis=1)]
+
+    def _parameter_arrays(self) -> List[np.ndarray]:
+        return [self._labels, self._mean, self._scale, self._centroids]
+
+
+class KNNClassifier(Classifier):
+    """k-nearest neighbours with fully deterministic tie-breaking.
+
+    Neighbours order by ``(distance, training index)``; the vote winner
+    is the label with the highest count, smallest label first.
+    """
+
+    name = "knn"
+    K = 3
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._mean = np.zeros(0)
+        self._scale = np.ones(0)
+        self._train = np.zeros((0, 0))
+        self._labels = np.zeros(0, dtype=np.int64)
+
+    def fit(self, features, labels) -> "KNNClassifier":
+        matrix = _as_matrix(features)
+        self._mean, self._scale = _standardize_stats(matrix)
+        self._train = (matrix - self._mean) / self._scale
+        self._labels = np.asarray(labels, dtype=np.int64)
+        return self
+
+    def predict(self, features) -> List[int]:
+        scaled = (_as_matrix(features) - self._mean) / self._scale
+        distances = _squared_distances(scaled, self._train)
+        k = min(self.K, len(self._labels))
+        order_index = np.arange(len(self._labels))
+        predictions = []
+        for row in distances:
+            order = np.lexsort((order_index, row))
+            votes: Dict[int, int] = {}
+            for neighbour in order[:k]:
+                label = int(self._labels[neighbour])
+                votes[label] = votes.get(label, 0) + 1
+            predictions.append(
+                min(votes, key=lambda label: (-votes[label], label))
+            )
+        return predictions
+
+    def _parameter_arrays(self) -> List[np.ndarray]:
+        return [self._mean, self._scale, self._train, self._labels]
+
+
+class LogisticClassifier(Classifier):
+    """Multinomial logistic regression, fixed-iteration full-batch GD.
+
+    Weights initialise from the classifier's seeded
+    :class:`~repro.simkernel.randomstream.CounterStream` (so the seed
+    genuinely enters the model), then take ``EPOCHS`` deterministic
+    gradient steps.  All reductions run through einsum/np.sum pairwise
+    loops — same floats on every run and worker.
+    """
+
+    name = "logistic"
+    EPOCHS = 60
+    LEARNING_RATE = 0.5
+    INIT_SCALE = 0.01
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._mean = np.zeros(0)
+        self._scale = np.ones(0)
+        self._labels = np.zeros(0, dtype=np.int64)
+        self._weights = np.zeros((0, 0))
+        self._bias = np.zeros(0)
+
+    def fit(self, features, labels) -> "LogisticClassifier":
+        matrix = _as_matrix(features)
+        label_array = np.asarray(labels, dtype=np.int64)
+        self._mean, self._scale = _standardize_stats(matrix)
+        scaled = (matrix - self._mean) / self._scale
+        self._labels = np.unique(label_array)
+        classes = len(self._labels)
+        label_index = {int(label): i for i, label in enumerate(self._labels)}
+        one_hot = np.zeros((len(label_array), classes))
+        for row, label in enumerate(label_array):
+            one_hot[row, label_index[int(label)]] = 1.0
+
+        stream = CounterStream(self.seed)
+        n_features = scaled.shape[1]
+        weights = np.array([
+            [
+                (2.0 * stream.random() - 1.0) * self.INIT_SCALE
+                for _ in range(classes)
+            ]
+            for _ in range(n_features)
+        ])
+        bias = np.zeros(classes)
+        samples = float(len(label_array))
+        for _ in range(self.EPOCHS):
+            logits = np.einsum("nf,fc->nc", scaled, weights) + bias
+            logits -= logits.max(axis=1, keepdims=True)
+            exp = np.exp(logits)
+            probabilities = exp / exp.sum(axis=1, keepdims=True)
+            error = (probabilities - one_hot) / samples
+            gradient_w = np.einsum("nf,nc->fc", scaled, error)
+            gradient_b = error.sum(axis=0)
+            weights -= self.LEARNING_RATE * gradient_w
+            bias -= self.LEARNING_RATE * gradient_b
+        self._weights = weights
+        self._bias = bias
+        return self
+
+    def predict(self, features) -> List[int]:
+        scaled = (_as_matrix(features) - self._mean) / self._scale
+        logits = np.einsum("nf,fc->nc", scaled, self._weights) + self._bias
+        # argmax takes the first maximum; labels are sorted.
+        return [int(self._labels[i]) for i in logits.argmax(axis=1)]
+
+    def _parameter_arrays(self) -> List[np.ndarray]:
+        return [
+            self._labels, self._mean, self._scale,
+            self._weights, self._bias,
+        ]
+
+
+#: name -> factory(seed); insertion order is presentation order.
+CLASSIFIER_REGISTRY: Dict[str, Callable[[int], Classifier]] = {}
+
+
+def register_classifier(
+    name: str,
+) -> Callable[[Callable[[int], Classifier]], Callable[[int], Classifier]]:
+    """Class/factory decorator adding a classifier to the registry."""
+
+    def wrap(factory: Callable[[int], Classifier]):
+        if name in CLASSIFIER_REGISTRY:
+            raise ValueError(f"classifier {name!r} already registered")
+        CLASSIFIER_REGISTRY[name] = factory
+        return factory
+
+    return wrap
+
+
+register_classifier("exact")(ExactMatchClassifier)
+register_classifier("centroid")(NearestCentroidClassifier)
+register_classifier("knn")(KNNClassifier)
+register_classifier("logistic")(LogisticClassifier)
+
+
+def classifier_names() -> Tuple[str, ...]:
+    """Registered names, registry (presentation) order."""
+    return tuple(CLASSIFIER_REGISTRY)
+
+
+def resolve_classifier(name: str, seed: int = 0) -> Classifier:
+    """Instantiate a registered classifier.
+
+    Raises:
+        ValueError: naming an unregistered classifier.
+    """
+    try:
+        factory = CLASSIFIER_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown classifier {name!r}; registered: "
+            f"{', '.join(CLASSIFIER_REGISTRY)}"
+        ) from None
+    return factory(seed)

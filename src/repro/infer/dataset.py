@@ -1,0 +1,274 @@
+"""The seeded observation model: pages → defended record sequences.
+
+Glues the zipf page population to the feature extractor under each
+defense level.  An *observation* is what the middlebox sees of one
+object's response during a multiplexed page load:
+
+* the object's own records, derived from the framing model the whole
+  testbed shares (HTTP/2 DATA chunks of ``chunk_bytes``, one TLS record
+  per frame, a HEADERS record in front — the constants of
+  :mod:`repro.core.predictor`);
+* the defense transform — per-record padding, interleaved chaff
+  records (:class:`~repro.infer.defenses.DefenseConfig`);
+* multiplexing contamination — foreign records of the page's *other*
+  objects spliced in at seeded positions (suppressed when the pipeline
+  defense serializes responses);
+* seeded integer timing (base gap + jitter + occasional think pauses).
+
+Every observation draws from its own counter stream named by
+``(role, level, session, object, rep)``, so any subset of levels,
+sessions or reps reproduces identical observations — the property that
+makes shard/worker/resume slicing bit-stable.
+
+The attacker trains on its own seeded fetches (role ``train``) and
+classifies the victim's (role ``victim``); both see the same
+contamination *distribution* but disjoint draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.predictor import FRAME_HEADER, RECORD_OVERHEAD, RESPONSE_HEADERS_WIRE
+from repro.experiments.executor import heartbeat
+from repro.infer.classifiers import classifier_names, resolve_classifier
+from repro.infer.defenses import DefenseConfig, DefenseOverhead, defense_level, defense_level_names
+from repro.infer.features import FeatureConfig, RecordObs, extract_features_auto
+from repro.simkernel.randomstream import CounterStream, counter_stream_base
+from repro.web.workload import PopulationConfig, PopulationWorkload
+
+#: Plaintext bytes of the response HEADERS record (its wire size is the
+#: shared ``RESPONSE_HEADERS_WIRE`` constant).
+HEADERS_PLAINTEXT = RESPONSE_HEADERS_WIRE - RECORD_OVERHEAD
+
+
+@dataclass(frozen=True)
+class StudyDesign:
+    """Everything one inference study derives from (picklable, frozen).
+
+    Attributes:
+        seed: master seed; every stream derives from it.
+        reps: attacker training fetches per object.
+        max_objects: classes per page (the largest-ranked objects).
+        chunk_bytes: DATA chunk size of the framing model.
+        gap_base_us / gap_jitter_us: per-record inter-arrival base and
+            uniform jitter, microseconds.
+        pause_one_in: one record in this many is preceded by a think
+            pause of ``pause_us`` (burst structure).
+        mux_max_inserts: per-observation ceiling on contamination
+            records spliced in from the page's other objects.
+        levels: defense-level names swept, ladder order.
+        classifiers: registry names evaluated per level.
+        features: the feature-extractor shape.
+        population: the zipf page population knobs.
+    """
+
+    seed: int = 2020
+    reps: int = 3
+    max_objects: int = 8
+    chunk_bytes: int = 2048
+    gap_base_us: int = 400
+    gap_jitter_us: int = 300
+    pause_one_in: int = 20
+    pause_us: int = 8000
+    mux_max_inserts: int = 4
+    levels: Tuple[str, ...] = defense_level_names()
+    classifiers: Tuple[str, ...] = classifier_names()
+    features: FeatureConfig = FeatureConfig()
+    population: PopulationConfig = PopulationConfig()
+
+    def __post_init__(self) -> None:
+        if self.reps < 1:
+            raise ValueError("reps must be positive")
+        if self.max_objects < 2:
+            raise ValueError("need at least two classes per page")
+        if self.chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be positive")
+        if self.pause_one_in < 1:
+            raise ValueError("pause_one_in must be positive")
+        for name in self.levels:
+            defense_level(name)  # validates early, worker-side errors are ugly
+        for name in self.classifiers:
+            if name not in classifier_names():
+                raise ValueError(
+                    f"unknown classifier {name!r} "
+                    f"(registered: {', '.join(classifier_names())})"
+                )
+
+
+def base_plaintext_records(body_bytes: int, chunk_bytes: int) -> Tuple[int, ...]:
+    """Undefended plaintext record lengths of one response.
+
+    One HEADERS record, then one record per DATA chunk — the shape the
+    live server actually emits (every ``send_data`` frame becomes one
+    ``send_application`` call).
+    """
+    if body_bytes < 1:
+        raise ValueError("body must be positive")
+    records = [HEADERS_PLAINTEXT]
+    remaining = body_bytes
+    while remaining > 0:
+        chunk = min(chunk_bytes, remaining)
+        remaining -= chunk
+        records.append(chunk + FRAME_HEADER)
+    return tuple(records)
+
+
+def defended_wire_records(
+    plaintext_records: Sequence[int], level: DefenseConfig
+) -> Tuple[int, ...]:
+    """Observed wire lengths of one response under a defense level."""
+    return tuple(
+        level.pad(plaintext) + RECORD_OVERHEAD
+        for plaintext in plaintext_records
+    )
+
+
+def observation_stream(
+    design: StudyDesign,
+    role: str,
+    level: DefenseConfig,
+    session: int,
+    obj: int,
+    rep: int,
+) -> CounterStream:
+    """The independent counter stream of one observation."""
+    return CounterStream(counter_stream_base(
+        design.seed,
+        f"infer/{role}/{level.name}/s{session}/o{obj}/r{rep}",
+    ))
+
+
+def observe(
+    index: int,
+    object_records: Sequence[Tuple[int, ...]],
+    level: DefenseConfig,
+    design: StudyDesign,
+    stream: CounterStream,
+) -> List[RecordObs]:
+    """One observation of object ``index`` of a page.
+
+    Draw order (fixed; determinism depends on it): chaff positions,
+    contamination count then per-insert (object, record, position)
+    triples, then per-record timing (jitter, pause) pairs.
+    """
+    lengths = list(object_records[index])
+    chaff_wire = level.chaff_record_plaintext + RECORD_OVERHEAD
+    for _ in range(level.chaff_records):
+        position = stream.randint(0, len(lengths))
+        lengths.insert(position, chaff_wire)
+    others = len(object_records) - 1
+    if not level.pipeline and others > 0:
+        inserts = stream.randint(0, design.mux_max_inserts)
+        for _ in range(inserts):
+            pick = stream.randint(0, others - 1)
+            other = pick if pick < index else pick + 1
+            foreign = object_records[other]
+            record = foreign[stream.randint(0, len(foreign) - 1)]
+            position = stream.randint(0, len(lengths))
+            lengths.insert(position, record)
+    now = 0
+    observation: List[RecordObs] = []
+    for length in lengths:
+        gap = design.gap_base_us + stream.randint(0, design.gap_jitter_us)
+        if stream.randint(0, design.pause_one_in - 1) == 0:
+            gap += design.pause_us
+        now += gap
+        observation.append((now, length))
+    return observation
+
+
+def level_overhead(
+    base_wire: Sequence[Tuple[int, ...]],
+    defended_wire: Sequence[Tuple[int, ...]],
+    level: DefenseConfig,
+    design: StudyDesign,
+) -> DefenseOverhead:
+    """Exact integer cost of serving one page at one defense level.
+
+    Latency: each chaff record occupies one emission slot
+    (``gap_base_us``); pipelining makes every response wait for all
+    records — real and chaff — of the responses ahead of it.
+    """
+    overhead = DefenseOverhead(
+        base_bytes=sum(sum(records) for records in base_wire),
+        defended_bytes=sum(sum(records) for records in defended_wire),
+        chaff_bytes=(
+            (level.chaff_record_plaintext + RECORD_OVERHEAD)
+            * level.chaff_records * len(base_wire)
+        ),
+        latency_us=(
+            level.chaff_records * design.gap_base_us * len(base_wire)
+        ),
+    )
+    if level.pipeline:
+        preceding_records = 0
+        for records in defended_wire[:-1]:
+            preceding_records += len(records) + level.chaff_records
+            overhead.latency_us += preceding_records * design.gap_base_us
+        # Each later response waits on everything before it; the sum
+        # above adds response i's queue depth once per follower.
+    return overhead
+
+
+def evaluate_session(session: int, design: StudyDesign) -> Dict[str, object]:
+    """The full frontier of one page: every level × every classifier.
+
+    Returns a plain-JSON dict (checkpointable) of integer counters —
+    see :class:`repro.infer.summary.InferSummary.fold` for the shape.
+    """
+    workload = PopulationWorkload(design.seed, design.population)
+    page = workload.page_spec(session)
+    sizes = page.object_sizes[: design.max_objects]
+    count = len(sizes)
+    plaintext = [
+        base_plaintext_records(body, design.chunk_bytes) for body in sizes
+    ]
+    base_wire = [defended_wire_records(rec, defense_level("off")) for rec in plaintext]
+    labels = list(range(count))
+    result: Dict[str, object] = {
+        "session": session,
+        "objects": count,
+        "levels": {},
+    }
+    for level_name in design.levels:
+        level = defense_level(level_name)
+        defended = [defended_wire_records(rec, level) for rec in plaintext]
+        train_obs = []
+        train_labels = []
+        for obj in labels:
+            for rep in range(design.reps):
+                stream = observation_stream(
+                    design, "train", level, session, obj, rep
+                )
+                train_obs.append(observe(obj, defended, level, design, stream))
+                train_labels.append(obj)
+        victim_obs = [
+            observe(
+                obj, defended, level, design,
+                observation_stream(design, "victim", level, session, obj, 0),
+            )
+            for obj in labels
+        ]
+        train_features = extract_features_auto(train_obs, design.features)
+        victim_features = extract_features_auto(victim_obs, design.features)
+        correct: Dict[str, int] = {}
+        for classifier_name in design.classifiers:
+            classifier_seed = counter_stream_base(
+                design.seed,
+                f"infer/clf/{level.name}/s{session}/{classifier_name}",
+            )
+            model = resolve_classifier(classifier_name, classifier_seed)
+            model.fit(train_features, train_labels)
+            predictions = model.predict(victim_features)
+            correct[classifier_name] = sum(
+                1 for predicted, truth in zip(predictions, labels)
+                if predicted == truth
+            )
+        overhead = level_overhead(base_wire, defended, level, design)
+        entry = overhead.to_json()
+        entry["classifiers"] = correct
+        result["levels"][level_name] = entry
+        heartbeat()
+    return result

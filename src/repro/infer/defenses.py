@@ -1,0 +1,168 @@
+"""The defense axis: padding, chaff and pipelining, with exact costs.
+
+Three server/middlebox-path defenses the paper discusses but never
+measures:
+
+* **per-record padding** — every application record's plaintext is
+  padded up to a block boundary (:func:`repro.tls.record.padded_length`,
+  the same primitive the live :class:`~repro.tls.session.TLSSession`
+  uses), hiding exact sizes at a byte cost;
+* **chaff records** — dummy application-data records the receiver's TLS
+  layer discards, diluting record counts and totals;
+* **response pipelining** — one response at a time, killing the
+  multiplexing signal at a latency cost.
+
+A :class:`DefenseConfig` names one point on the axis;
+:data:`DEFENSE_LEVELS` is the swept ladder, ordered so the byte
+overhead is monotonically non-decreasing by construction (each level
+dominates the previous per record).  :class:`DefenseOverhead` keeps the
+accounting in plain integers so frontier tables are bit-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.tls.record import MAX_PLAINTEXT_FRAGMENT, padded_length
+
+
+@dataclass(frozen=True)
+class DefenseConfig:
+    """One point on the defense axis.
+
+    Attributes:
+        name: the level's display name.
+        pad_block: plaintext block size records are padded up to
+            (0 = off).  Must divide the TLS plaintext ceiling so a
+            maximal fragment stays representable.
+        chaff_records: dummy records emitted per response.
+        chaff_plaintext: plaintext bytes per chaff record (before
+            padding — chaff is padded like everything else).
+        pipeline: serialize responses (no concurrent emission).
+    """
+
+    name: str
+    pad_block: int = 0
+    chaff_records: int = 0
+    chaff_plaintext: int = 1024
+    pipeline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pad_block < 0:
+            raise ValueError("pad_block must be non-negative")
+        if self.pad_block > 1 and MAX_PLAINTEXT_FRAGMENT % self.pad_block:
+            raise ValueError(
+                f"pad_block {self.pad_block} must divide "
+                f"{MAX_PLAINTEXT_FRAGMENT}"
+            )
+        if self.chaff_records < 0:
+            raise ValueError("chaff_records must be non-negative")
+        if self.chaff_plaintext < 1:
+            raise ValueError("chaff_plaintext must be positive")
+
+    def pad(self, plaintext_length: int) -> int:
+        """Plaintext length after this level's padding."""
+        return padded_length(plaintext_length, self.pad_block)
+
+    @property
+    def chaff_record_plaintext(self) -> int:
+        """Plaintext of one emitted chaff record (padded)."""
+        return self.pad(self.chaff_plaintext)
+
+    @property
+    def active(self) -> bool:
+        return bool(self.pad_block > 1 or self.chaff_records or self.pipeline)
+
+
+#: The swept ladder, weakest to strongest.  Order matters: each level's
+#: per-record cost dominates the previous one's (block sizes divide the
+#: next, chaff only ever grows), so reported byte overheads are
+#: monotonically non-decreasing — an invariant the test suite asserts.
+DEFENSE_LEVELS: Tuple[DefenseConfig, ...] = (
+    DefenseConfig(name="off"),
+    DefenseConfig(name="pad256", pad_block=256),
+    DefenseConfig(name="pad1k", pad_block=1024),
+    DefenseConfig(name="pad1k+chaff", pad_block=1024, chaff_records=4),
+    DefenseConfig(
+        name="pad4k+chaff+pipe",
+        pad_block=4096,
+        chaff_records=4,
+        pipeline=True,
+    ),
+)
+
+_LEVELS_BY_NAME: Dict[str, DefenseConfig] = {
+    level.name: level for level in DEFENSE_LEVELS
+}
+
+
+def defense_level_names() -> Tuple[str, ...]:
+    """Level names, ladder order."""
+    return tuple(level.name for level in DEFENSE_LEVELS)
+
+
+def defense_level(name: str) -> DefenseConfig:
+    """Look a ladder level up by name.
+
+    Raises:
+        ValueError: naming an unknown level.
+    """
+    try:
+        return _LEVELS_BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown defense level {name!r}; known: "
+            f"{', '.join(_LEVELS_BY_NAME)}"
+        ) from None
+
+
+@dataclass
+class DefenseOverhead:
+    """Integer byte/latency cost accounting of one defended load.
+
+    Attributes:
+        base_bytes: wire bytes of the *undefended* responses.
+        defended_bytes: wire bytes of the padded responses (no chaff).
+        chaff_bytes: wire bytes of emitted chaff records.
+        latency_us: added serialization/chaff latency, microseconds.
+    """
+
+    base_bytes: int = 0
+    defended_bytes: int = 0
+    chaff_bytes: int = 0
+    latency_us: int = 0
+
+    def add(self, other: "DefenseOverhead") -> None:
+        self.base_bytes += other.base_bytes
+        self.defended_bytes += other.defended_bytes
+        self.chaff_bytes += other.chaff_bytes
+        self.latency_us += other.latency_us
+
+    @property
+    def extra_bytes(self) -> int:
+        return self.defended_bytes + self.chaff_bytes - self.base_bytes
+
+    @property
+    def byte_overhead_permille(self) -> int:
+        """Integer permille of extra bytes over the undefended load."""
+        if self.base_bytes <= 0:
+            return 0
+        return self.extra_bytes * 1000 // self.base_bytes
+
+    def to_json(self) -> Dict[str, int]:
+        return {
+            "base_bytes": self.base_bytes,
+            "defended_bytes": self.defended_bytes,
+            "chaff_bytes": self.chaff_bytes,
+            "latency_us": self.latency_us,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, int]) -> "DefenseOverhead":
+        return cls(
+            base_bytes=int(payload["base_bytes"]),
+            defended_bytes=int(payload["defended_bytes"]),
+            chaff_bytes=int(payload["chaff_bytes"]),
+            latency_us=int(payload["latency_us"]),
+        )

@@ -1,0 +1,126 @@
+"""Streaming integer aggregation of per-session frontier results.
+
+The infer analogue of :class:`repro.campaign.columnar.ColumnarSummary`
+(which stays untouched — its column set is part of recorded digests):
+integer counters per defense level plus per-(level, classifier) correct
+counts.  Addition of integers is exactly associative, so folds and
+merges commute with any shard/worker split — the digest of the merged
+summary is a function of the config alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, Tuple
+
+from repro.infer.defenses import DefenseOverhead
+
+FORMAT = "repro.infer.frontier/v1"
+
+
+class InferSummary:
+    """Fold/merge accumulator over ``evaluate_session`` results."""
+
+    def __init__(
+        self, levels: Tuple[str, ...], classifiers: Tuple[str, ...]
+    ) -> None:
+        self.levels = tuple(levels)
+        self.classifiers = tuple(classifiers)
+        self.sessions = 0
+        self.objects = 0
+        self.overheads: Dict[str, DefenseOverhead] = {
+            name: DefenseOverhead() for name in self.levels
+        }
+        self.correct: Dict[str, Dict[str, int]] = {
+            name: {clf: 0 for clf in self.classifiers}
+            for name in self.levels
+        }
+
+    def fold(self, session_result: Dict[str, object]) -> None:
+        """Accumulate one ``evaluate_session`` dict."""
+        self.sessions += 1
+        self.objects += int(session_result["objects"])
+        levels = session_result["levels"]
+        for name in self.levels:
+            entry = levels[name]
+            self.overheads[name].add(DefenseOverhead.from_json(entry))
+            for clf in self.classifiers:
+                self.correct[name][clf] += int(entry["classifiers"][clf])
+
+    def fold_all(self, session_results: Iterable[Dict[str, object]]) -> None:
+        for result in session_results:
+            self.fold(result)
+
+    def merge(self, other: "InferSummary") -> None:
+        """Merge another shard's summary (same axes required)."""
+        if (self.levels, self.classifiers) != (other.levels, other.classifiers):
+            raise ValueError("cannot merge summaries over different axes")
+        self.sessions += other.sessions
+        self.objects += other.objects
+        for name in self.levels:
+            self.overheads[name].add(other.overheads[name])
+            for clf in self.classifiers:
+                self.correct[name][clf] += other.correct[name][clf]
+
+    # -- accessors --------------------------------------------------------
+
+    def accuracy_permille(self, level: str, classifier: str) -> int:
+        """Integer permille accuracy of one frontier cell."""
+        if self.objects <= 0:
+            return 0
+        return self.correct[level][classifier] * 1000 // self.objects
+
+    def byte_overhead_permille(self, level: str) -> int:
+        return self.overheads[level].byte_overhead_permille
+
+    def mean_latency_us(self, level: str) -> int:
+        """Integer mean added latency per session, microseconds."""
+        if self.sessions <= 0:
+            return 0
+        return self.overheads[level].latency_us // self.sessions
+
+    # -- serialization ----------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "format": FORMAT,
+            "sessions": self.sessions,
+            "objects": self.objects,
+            "classifiers": list(self.classifiers),
+            "levels": [
+                {
+                    "name": name,
+                    **self.overheads[name].to_json(),
+                    "correct": {
+                        clf: self.correct[name][clf]
+                        for clf in self.classifiers
+                    },
+                }
+                for name in self.levels
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "InferSummary":
+        if payload.get("format") != FORMAT:
+            raise ValueError(
+                f"not an infer frontier payload: {payload.get('format')!r}"
+            )
+        levels = tuple(entry["name"] for entry in payload["levels"])
+        classifiers = tuple(payload["classifiers"])
+        summary = cls(levels, classifiers)
+        summary.sessions = int(payload["sessions"])
+        summary.objects = int(payload["objects"])
+        for entry in payload["levels"]:
+            name = entry["name"]
+            summary.overheads[name] = DefenseOverhead.from_json(entry)
+            summary.correct[name] = {
+                clf: int(entry["correct"][clf]) for clf in classifiers
+            }
+        return summary
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON — the bit-identity witness."""
+        canonical = json.dumps(self.to_json(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

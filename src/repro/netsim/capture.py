@@ -46,6 +46,13 @@ class PacketRecord:
     seq: int
     ack: int
     tls_content_types: Tuple[int, ...]
+    #: Wire length of each TLS record *starting* in this packet,
+    #: aligned with ``tls_content_types``.  The 5-byte record header
+    #: travels in the clear, so an on-path observer reads the length
+    #: field as freely as the content type — this is the raw material
+    #: of the :mod:`repro.infer` feature extractor and of the padding
+    #: regression assertions.
+    tls_record_lengths: Tuple[int, ...] = ()
     dropped_by_adversary: bool = False
 
     @property
@@ -81,6 +88,9 @@ class PacketRecord:
         content_types = tuple(
             int(getattr(rec, "content_type", 0)) for rec in records
         )
+        record_lengths = tuple(
+            int(getattr(rec, "wire_length", 0)) for rec in records
+        )
         return cls(
             time=time,
             direction=direction,
@@ -91,6 +101,7 @@ class PacketRecord:
             seq=int(_segment_field(segment, "seq", 0)),
             ack=int(_segment_field(segment, "ack", 0)),
             tls_content_types=content_types,
+            tls_record_lengths=record_lengths,
             dropped_by_adversary=dropped,
         )
 
@@ -136,6 +147,25 @@ class CaptureLog:
             and not record.dropped_by_adversary
             and (direction is None or record.direction is direction)
         ]
+
+    def record_length_sequence(
+        self, direction: Direction
+    ) -> List[Tuple[float, int]]:
+        """(time, wire length) of every observed application-data record.
+
+        The cleartext record headers make each record's length visible
+        to the on-path observer the moment its first byte transits —
+        the input of :func:`repro.infer.features.capture_record_sequence`
+        and of the padding regression assertions.
+        """
+        sequence: List[Tuple[float, int]] = []
+        for record in self.in_direction(direction):
+            for content_type, wire_length in zip(
+                record.tls_content_types, record.tls_record_lengths
+            ):
+                if content_type == 23:
+                    sequence.append((record.time, wire_length))
+        return sequence
 
     def since(self, time: float) -> "CaptureLog":
         """A new log holding only records at or after ``time``."""

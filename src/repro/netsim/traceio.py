@@ -32,6 +32,7 @@ def _record_to_dict(record: PacketRecord) -> dict:
         "seq": record.seq,
         "ack": record.ack,
         "tls": list(record.tls_content_types),
+        "tls_len": list(record.tls_record_lengths),
         "dropped": record.dropped_by_adversary,
     }
 
@@ -47,6 +48,7 @@ def _record_from_dict(data: dict) -> PacketRecord:
         seq=int(data.get("seq", 0)),
         ack=int(data.get("ack", 0)),
         tls_content_types=tuple(int(ct) for ct in data.get("tls", ())),
+        tls_record_lengths=tuple(int(n) for n in data.get("tls_len", ())),
         dropped_by_adversary=bool(data.get("dropped", False)),
     )
 

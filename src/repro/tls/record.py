@@ -28,6 +28,28 @@ APPLICATION_DATA = 23
 _record_ids = itertools.count(1)
 
 
+def padded_length(length: int, block: int) -> int:
+    """Plaintext length after padding ``length`` up to a ``block`` boundary.
+
+    The padding-defense contract (relied on by both the live
+    :class:`~repro.tls.session.TLSSession` padding path and the analytic
+    observation model in :mod:`repro.infer`):
+
+    * never below the original length;
+    * an exact multiple of ``block`` (for ``block > 1``);
+    * ``block <= 1`` (or 0) disables padding entirely.
+
+    Callers enforcing the record-size ceiling must pick a ``block`` that
+    divides :data:`MAX_PLAINTEXT_FRAGMENT`, so a maximal fragment stays
+    representable after padding.
+    """
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    if block <= 1:
+        return length
+    return length + (-length % block)
+
+
 @dataclass
 class TLSRecord:
     """One TLS record: cleartext header plus opaque encrypted payload.

@@ -24,6 +24,7 @@ from repro.tls.record import (
     HANDSHAKE,
     MAX_PLAINTEXT_FRAGMENT,
     TLSRecord,
+    padded_length,
 )
 
 #: Size-realistic handshake message lengths (bytes of plaintext).
@@ -50,6 +51,20 @@ class _HandshakeMessage:
         return f"_HandshakeMessage({self.name})"
 
 
+class _ChaffMessage:
+    """Opaque payload of a defense chaff record.
+
+    The receiving session discards these before the HTTP/2 layer ever
+    sees them — to the application, chaff does not exist; to the
+    on-path observer, it is indistinguishable application data.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "_ChaffMessage()"
+
+
 class TLSSession:
     """One endpoint of a TLS channel layered on a transport.
 
@@ -58,6 +73,14 @@ class TLSSession:
         on_application_record(payload, duplicate): a full application
             record arrived; ``payload`` is the opaque object the peer
             sent (an HTTP/2 frame).
+
+    Defense knobs:
+        pad_block: pad every application fragment's plaintext up to this
+            block boundary before sealing the record (0 disables) — the
+            per-record padding defense.  Must divide the plaintext
+            ceiling so a maximal fragment stays legal.
+        ``send_chaff()`` emits dummy application records the peer's
+        session silently discards (counted, never delivered upward).
     """
 
     def __init__(
@@ -66,11 +89,23 @@ class TLSSession:
         role: TLSRole,
         cipher: CipherSpec = AES_128_GCM_TLS12,
         trace: Optional[TraceLog] = None,
+        pad_block: int = 0,
     ) -> None:
+        if pad_block < 0:
+            raise ValueError("pad_block must be non-negative")
+        if pad_block > 1 and MAX_PLAINTEXT_FRAGMENT % pad_block:
+            raise ValueError(
+                f"pad_block {pad_block} must divide {MAX_PLAINTEXT_FRAGMENT}"
+            )
         self._connection = connection
         self.role = role
         self.cipher = cipher
         self._trace = trace
+        self.pad_block = pad_block
+        #: Defense cost/volume accounting (integers).
+        self.padding_bytes_sent = 0
+        self.chaff_records_sent = 0
+        self.chaff_records_received = 0
         self.handshake_complete = False
         self.on_handshake_complete: Optional[Callable[[], None]] = None
         self.on_application_record: Optional[Callable[[Any, bool], None]] = None
@@ -110,9 +145,11 @@ class TLSSession:
         while remaining > 0:
             fragment = min(remaining, MAX_PLAINTEXT_FRAGMENT)
             remaining -= fragment
+            sealed = padded_length(fragment, self.pad_block)
+            self.padding_bytes_sent += sealed - fragment
             record = TLSRecord(
                 content_type=APPLICATION_DATA,
-                plaintext_length=fragment,
+                plaintext_length=sealed,
                 cipher=self.cipher,
                 payload=payload if remaining == 0 else _Fragment(payload),
             )
@@ -127,6 +164,36 @@ class TLSSession:
                 plaintext=length,
             )
         return records
+
+    def send_chaff(self, length: int) -> TLSRecord:
+        """Emit one dummy application record (the chaff defense).
+
+        The plaintext length is padded like real traffic; the peer's
+        session counts and drops it before the application layer.
+        """
+        if not self.handshake_complete:
+            raise RuntimeError("chaff before handshake completion")
+        if length <= 0:
+            raise ValueError(f"chaff length must be positive, got {length}")
+        sealed = padded_length(
+            min(length, MAX_PLAINTEXT_FRAGMENT), self.pad_block
+        )
+        record = TLSRecord(
+            content_type=APPLICATION_DATA,
+            plaintext_length=sealed,
+            cipher=self.cipher,
+            payload=_ChaffMessage(),
+        )
+        self.chaff_records_sent += 1
+        self._connection.send_message(record, record.wire_length)
+        if self._trace is not None:
+            self._trace.record(
+                self._connection.sim.now,
+                "tls.chaff",
+                role=self.role.value,
+                plaintext=sealed,
+            )
+        return record
 
     # Handshake ----------------------------------------------------------
 
@@ -161,6 +228,9 @@ class TLSSession:
                 # Early data is not modelled; treat as protocol error.
                 raise RuntimeError("application data before handshake finished")
             payload = message.payload
+            if isinstance(payload, _ChaffMessage):
+                self.chaff_records_received += 1
+                return  # Chaff never reaches the application layer.
             if isinstance(payload, _Fragment):
                 return  # Only the final fragment completes the payload.
             if self.on_application_record:

@@ -41,6 +41,11 @@ BAD_COMBOS = [
     (["baseline", "--failure-manifest", "m.json"], "--failure-manifest"),
     (["table1", "--scenario", "worker-kill"], "--scenario"),
     (["campaign", "--scenario", "worker-kill"], "--scenario"),
+    (["table1", "--reps", "2"], "--reps"),
+    (["campaign", "--defenses", "off,pad256"], "--defenses"),
+    (["verify", "--classifiers", "exact"], "--classifiers"),
+    (["infer-study", "--sessions", "5"], "--sessions"),
+    (["infer-study", "--json", "out.json"], "--json"),
 ]
 
 
@@ -81,6 +86,17 @@ def test_coherent_scoped_flags_pass_validation():
     args = parser.parse_args(["chaos", "--quick",
                               "--scenario", "deadline-expiry"])
     cli._validate_args(parser, args)
+    args = parser.parse_args(
+        ["infer-study", "--trials", "2", "--reps", "2",
+         "--defenses", "off,pad256", "--classifiers", "exact,centroid",
+         "--max-objects", "4"]
+    )
+    cli._validate_args(parser, args)
+    args = parser.parse_args(
+        ["infer", "--sessions", "10", "--shard-size", "5",
+         "--checkpoint-dir", "ck", "--reps", "2", "--json", "out.json"]
+    )
+    cli._validate_args(parser, args)
 
 
 def _smoke(capsys, argv):
@@ -92,7 +108,7 @@ def _smoke(capsys, argv):
 FAST_EXPERIMENTS = [
     "baseline", "table1", "table2", "fig1", "fig5", "fig6",
     "delay", "trigger", "partialmux", "fingerprint", "attack", "profile",
-    "transport-study",
+    "transport-study", "infer-study",
 ]
 
 SLOW_EXPERIMENTS = ["ablations", "streaming", "generalization"]
@@ -136,6 +152,40 @@ def test_scorecard_smoke(capsys):
                                 "--workers", "1"])
     assert code in (0, 1)
     assert out.strip()
+
+
+def test_infer_study_smoke(capsys):
+    code, out = _smoke(capsys, ["infer-study", "--trials", "2",
+                                "--workers", "1", "--reps", "2",
+                                "--max-objects", "4"])
+    assert code == 0
+    assert "E19 / infer" in out
+    assert "exact-match baseline" in out
+
+
+def test_infer_campaign_smoke(capsys, tmp_path):
+    json_path = tmp_path / "frontier.json"
+    code = cli.main(["infer", "--sessions", "4", "--shard-size", "2",
+                     "--workers", "1", "--reps", "2",
+                     "--max-objects", "4", "--json", str(json_path)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "E19 / infer" in captured.out
+    assert "shards=2" in captured.out
+    assert "sessions in" in captured.err
+    import json
+
+    payload = json.loads(json_path.read_text())
+    assert payload["sessions"] == 4
+    assert payload["format"] == "repro.infer.frontier/v1"
+    assert payload["summary_digest"]
+
+
+def test_infer_unknown_defense_exits_2(capsys):
+    code = cli.main(["infer", "--defenses", "nosuch"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "nosuch" in captured.err
 
 
 def test_robustness_study_smoke(capsys):

@@ -94,6 +94,26 @@ def test_golden_table1_matches_checked_in(monkeypatch, backend):
         golden.load_golden()["table1"]["sha256"]
 
 
+@pytest.mark.parametrize("backend", ["python", "fast"])
+def test_golden_infer_study_matches_checked_in(monkeypatch, backend):
+    # The E19 frontier is integer end to end: both backends (scalar
+    # feature loop vs numpy batch kernel) reproduce the sealed bytes.
+    monkeypatch.setenv("REPRO_BACKEND", backend)
+    captures, section = golden.run_checks(["infer-study"])
+    assert section.passed, "\n" + section.render()
+    assert golden.digest(captures["infer-study"]) == \
+        golden.load_golden()["infer-study"]["sha256"]
+
+
+def test_infer_study_perturbation_fails_naming_experiment(monkeypatch):
+    monkeypatch.setenv(golden.PERTURB_ENV, "infer-study")
+    _, section = golden.run_checks(["infer-study"])
+    assert not section.passed
+    (failure,) = [check for check in section.checks if not check.passed]
+    assert failure.name == "golden:infer-study"
+    assert "drifted" in failure.detail
+
+
 def test_single_byte_perturbation_fails_naming_experiment(monkeypatch):
     # The acceptance criterion: flip one byte of one experiment's
     # output (via the env-flag hook) and verify must fail with that

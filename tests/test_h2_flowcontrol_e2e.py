@@ -6,6 +6,9 @@ from repro.core.metrics import MultiplexingReport
 from repro.h2.client import H2Client
 from repro.h2.server import H2Server, ResourceSpec, ServerConfig
 from repro.h2.settings import H2Settings
+from repro.infer.features import observed_record_lengths
+from repro.netsim.capture import Direction
+from repro.netsim.link import LinkConfig
 from repro.netsim.topology import build_adversary_path
 from repro.tls.cipher import AES_128_GCM_TLS13
 from repro.tls.session import TLSRole, TLSSession
@@ -107,6 +110,67 @@ def test_tls13_cipher_changes_wire_sizes():
         records = session.send_application(object(), 10_000)
         sizes[cipher_name] = sum(record.wire_length for record in records)
     assert sizes["tls13"] < sizes["tls12"]
+
+
+def _lossless_stack(config=None, seed=61):
+    """Client—gateway—server with no ambient loss: every TLS record
+    transits the middlebox exactly once, so observed record counts are
+    exact."""
+    topology = build_adversary_path(
+        seed=seed, server_link_config=LinkConfig(propagation_delay=0.015),
+    )
+    server = H2Server(
+        topology.sim, topology.server, 443,
+        lambda path: RESOURCES.get(path), config=config,
+        trace=topology.trace,
+    )
+    client = H2Client(
+        topology.sim, topology.client, topology.server.endpoint(443),
+        trace=topology.trace,
+    )
+    return topology, server, client
+
+
+def _fetch_big(topology, client):
+    done = []
+    def go():
+        handle = client.get("/big.bin")
+        handle.on_complete = done.append
+    client.on_ready = go
+    client.connect()
+    topology.sim.run_until(60.0)
+    assert done and done[0].received_bytes == 500_000
+    return observed_record_lengths(
+        topology.middlebox.capture, Direction.SERVER_TO_CLIENT,
+    )
+
+
+def test_middlebox_observes_response_framing():
+    """The gateway reads each response record's length from its
+    cleartext header: /big.bin's 500 KB in 2048-byte DATA chunks is 244
+    full records of 2086 wire bytes plus the 288-byte tail."""
+    topology, server, client = _lossless_stack()
+    lengths = _fetch_big(topology, client)
+    assert lengths.count(2048 + 9 + 29) == 244
+    assert lengths.count(288 + 9 + 29) == 1
+    # The HEADERS record precedes the first DATA record on the wire.
+    first_data = lengths.index(2086)
+    assert any(100 < wire < 400 for wire in lengths[:first_data])
+
+
+def test_middlebox_observes_padded_record_lengths():
+    """With the padding defense on, every observed application record
+    sits exactly on a block boundary and the transfer still completes
+    with identical plaintext."""
+    topology, server, client = _lossless_stack(ServerConfig(pad_block=256))
+    padded = _fetch_big(topology, client)
+    # Wire length = padded plaintext + constant AEAD/record overhead.
+    assert all((wire - 29) % 256 == 0 for wire in padded)
+    baseline_topology, _, baseline_client = _lossless_stack()
+    plain = _fetch_big(baseline_topology, baseline_client)
+    assert len(padded) == len(plain)  # padding never splits records
+    assert sum(padded) >= sum(plain)  # and never shrinks the load
+    assert all(p >= q for p, q in zip(sorted(padded), sorted(plain)))
 
 
 def test_concurrent_transfers_share_connection_window():

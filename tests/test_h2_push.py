@@ -125,6 +125,73 @@ def test_push_defense_page_load_completes():
     assert emblem_requests == []
 
 
+def _lossless_push_stack(config):
+    """Push stack over a lossless server link: observed record counts
+    at the gateway are exact (no retransmitted record headers)."""
+    from repro.netsim.link import LinkConfig
+
+    topology = build_adversary_path(
+        seed=43, server_link_config=LinkConfig(propagation_delay=0.015),
+    )
+    server = H2Server(
+        topology.sim, topology.server, 443,
+        lambda path: RESOURCES.get(path), config=config,
+        trace=topology.trace,
+    )
+    client = H2Client(
+        topology.sim, topology.client, topology.server.endpoint(443),
+        trace=topology.trace, authority="push.example",
+    )
+    client.on_ready = lambda: client.get("/page.html")
+    client.connect()
+    topology.sim.run_until(10.0)
+    assert client.handles and all(
+        handle.complete for handle in client.handles.values()
+    )
+    return topology, client
+
+
+def test_pushed_response_record_lengths_observed_at_middlebox():
+    """Each pushed response's framing is individually visible at the
+    gateway: one TLS record per 2048-byte DATA chunk plus its tail —
+    the raw material of the repro.infer size-inference attack."""
+    from repro.infer.features import observed_record_lengths
+    from repro.netsim.capture import Direction
+
+    push_map = {"/page.html": ("/style.css", "/logo.png")}
+    topology, client = _lossless_push_stack(ServerConfig(push_map=push_map))
+    lengths = observed_record_lengths(
+        topology.middlebox.capture, Direction.SERVER_TO_CLIENT,
+    )
+    # Full 2048-byte chunks: 3 (/page.html) + 1 (/style.css) + 2
+    # (/logo.png); each tail chunk is distinct and appears once.
+    assert lengths.count(2048 + 9 + 29) == 6
+    assert lengths.count(8000 % 2048 + 9 + 29) == 1   # /page.html tail
+    assert lengths.count(4000 % 2048 + 9 + 29) == 1   # /style.css tail
+    assert lengths.count(6000 % 2048 + 9 + 29) == 1   # /logo.png tail
+
+
+def test_chaff_records_visible_on_wire_but_transparent_to_client():
+    """Chaff dilutes what the middlebox counts, while the client's TLS
+    layer discards it without touching the HTTP/2 session."""
+    from repro.infer.features import observed_record_lengths
+    from repro.netsim.capture import Direction
+
+    push_map = {"/page.html": ("/style.css", "/logo.png")}
+    topology, client = _lossless_push_stack(
+        ServerConfig(push_map=push_map, chaff_records=2,
+                     chaff_plaintext=1024)
+    )
+    lengths = observed_record_lengths(
+        topology.middlebox.capture, Direction.SERVER_TO_CLIENT,
+    )
+    # Two chaff records per completed response, three responses.
+    assert lengths.count(1024 + 29) == 6
+    assert client.tls.chaff_records_received == 6
+    # The real framing is unchanged underneath the chaff.
+    assert lengths.count(2048 + 9 + 29) == 6
+
+
 def test_push_defense_canonical_order_independent_of_user():
     defense = ServerPushDefense()
     first = defense.canonical_order(build_isidewith_site(PARTIES))

@@ -1,0 +1,135 @@
+"""Defense axis: padding contract, ladder monotonicity, overhead math.
+
+The padding contract is the acceptance-critical property: a padded
+record is never smaller than the original and always lands exactly on a
+block boundary — Hypothesis sweeps it across arbitrary lengths and
+block sizes.  The ladder check pins the other acceptance criterion:
+each registered defense level reports a byte overhead at least as large
+as the level before it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infer.dataset import (
+    StudyDesign,
+    base_plaintext_records,
+    defended_wire_records,
+    level_overhead,
+)
+from repro.infer.defenses import (
+    DEFENSE_LEVELS,
+    DefenseConfig,
+    DefenseOverhead,
+    defense_level,
+    defense_level_names,
+)
+from repro.tls.record import MAX_PLAINTEXT_FRAGMENT, padded_length
+
+
+# -- the padding contract (Hypothesis) -----------------------------------
+
+@settings(max_examples=300, deadline=None)
+@given(
+    length=st.integers(min_value=0, max_value=3 * MAX_PLAINTEXT_FRAGMENT),
+    block=st.integers(min_value=0, max_value=MAX_PLAINTEXT_FRAGMENT),
+)
+def test_padded_length_contract(length, block):
+    padded = padded_length(length, block)
+    assert padded >= length          # never below the original
+    if block > 1:
+        assert padded % block == 0   # exactly on a block boundary
+        assert padded - length < block  # minimal padding
+    else:
+        assert padded == length      # block 0/1 disables padding
+
+
+def test_padded_length_rejects_negative():
+    with pytest.raises(ValueError):
+        padded_length(-1, 256)
+
+
+# -- defense config ------------------------------------------------------
+
+def test_defense_config_validation():
+    with pytest.raises(ValueError):
+        DefenseConfig(name="bad", pad_block=-1)
+    with pytest.raises(ValueError):
+        # 3000 does not divide the 16 KiB TLS fragment ceiling: a full
+        # fragment could not be padded without splitting.
+        DefenseConfig(name="bad", pad_block=3000)
+    level = DefenseConfig(name="ok", pad_block=512, chaff_records=2)
+    assert level.active
+    assert level.pad(1) == 512
+    assert level.chaff_record_plaintext % 512 == 0
+    assert not DefenseConfig(name="off").active
+
+
+def test_registered_levels_resolve_by_name():
+    assert defense_level_names()[0] == "off"
+    for name in defense_level_names():
+        assert defense_level(name).name == name
+    with pytest.raises(ValueError, match="unknown defense level"):
+        defense_level("quantum")
+
+
+# -- ladder monotonicity (acceptance criterion) --------------------------
+
+def test_defense_ladder_byte_overhead_is_monotone():
+    """Each level's byte overhead >= the previous level's, for any page."""
+    design = StudyDesign()
+    sizes = (288, 2_048, 40_000, 123_457)
+    base = [base_plaintext_records(size, design.chunk_bytes)
+            for size in sizes]
+    previous = -1
+    for name in design.levels:
+        level = defense_level(name)
+        defended = [defended_wire_records(records, level)
+                    for records in base]
+        base_wire = [defended_wire_records(records, defense_level("off"))
+                     for records in base]
+        overhead = level_overhead(base_wire, defended, level, design)
+        assert overhead.byte_overhead_permille >= previous, name
+        previous = overhead.byte_overhead_permille
+        assert overhead.extra_bytes >= 0
+        assert overhead.latency_us >= 0
+
+
+def test_padded_records_never_shrink_and_align():
+    for name in defense_level_names():
+        level = defense_level(name)
+        base = base_plaintext_records(100_000, 2048)
+        defended = defended_wire_records(base, level)
+        assert len(defended) == len(base)
+        for plaintext, wire in zip(base, defended):
+            assert wire >= plaintext
+            if level.pad_block > 1:
+                # Wire = padded plaintext + constant record overhead.
+                assert (wire - 29) % level.pad_block == 0
+
+
+# -- overhead accounting -------------------------------------------------
+
+def test_overhead_fold_and_json_roundtrip():
+    a = DefenseOverhead(base_bytes=1000, defended_bytes=1200,
+                        chaff_bytes=100, latency_us=50)
+    b = DefenseOverhead(base_bytes=500, defended_bytes=800,
+                        chaff_bytes=0, latency_us=10)
+    a.add(b)  # in-place fold, like the summary accumulators
+    assert a.base_bytes == 1500
+    assert a.extra_bytes == 2000 + 100 - 1500
+    assert a.byte_overhead_permille == 600 * 1000 // 1500
+    assert DefenseOverhead.from_json(a.to_json()) == a
+
+
+def test_defense_levels_are_unique_and_ordered():
+    names = [level.name for level in DEFENSE_LEVELS]
+    assert names == list(defense_level_names())
+    assert len(set(names)) == len(names)
+    # The ladder's block sizes divide each other: that is what makes
+    # per-record padding overhead monotone by construction.
+    blocks = [level.pad_block for level in DEFENSE_LEVELS
+              if level.pad_block > 1]
+    for smaller, larger in zip(blocks, blocks[1:]):
+        assert larger % smaller == 0

@@ -163,3 +163,103 @@ def test_wire_bytes_match_record_model():
     expected = sum(record.wire_length for record in records)
     # Sequence space consumed since before the send equals the total.
     assert client_tcp.layout.next_seq >= expected
+
+
+# -- padding and chaff (the repro.infer defense primitives) --------------
+
+
+def _padded_pair(pad_block=0):
+    topology = build_adversary_path(seed=12)
+    sim = topology.sim
+    server_sessions = []
+
+    def on_accept(connection):
+        server_sessions.append(
+            TLSSession(connection, TLSRole.SERVER, pad_block=pad_block)
+        )
+
+    TCPListener(sim, topology.server, 443, on_accept)
+    client_tcp = TCPConnection(
+        sim, topology.client, 50001, topology.server.endpoint(443),
+        name="client:tls-pad",
+    )
+    client = TLSSession(client_tcp, TLSRole.CLIENT, pad_block=pad_block)
+    client_tcp.connect()
+    sim.run_until(2.0)
+    assert client.handshake_complete
+    return sim, client, server_sessions[0]
+
+
+def test_padded_length_is_the_single_padding_source():
+    from repro.tls.record import padded_length
+
+    assert padded_length(400, 256) == 512
+    assert padded_length(512, 256) == 512
+    assert padded_length(0, 256) == 0
+    assert padded_length(400, 0) == 400
+    assert padded_length(400, 1) == 400
+    with pytest.raises(ValueError):
+        padded_length(-5, 256)
+
+
+def test_session_pads_application_records_to_block():
+    sim, client, server = _padded_pair(pad_block=256)
+    records = client.send_application(_Payload("p"), 400)
+    assert [record.plaintext_length for record in records] == [512]
+    assert client.padding_bytes_sent == 112
+    received = []
+    server.on_application_record = (
+        lambda payload, dup: received.append(payload.name)
+    )
+    sim.run_until(3.0)
+    assert received == ["p"]  # padding is invisible to the application
+
+
+def test_session_padding_covers_every_fragment():
+    sim, client, server = _padded_pair(pad_block=1024)
+    records = client.send_application(_Payload("big"), 40_000)
+    assert len(records) > 1
+    for record in records:
+        assert record.plaintext_length % 1024 == 0
+        assert record.wire_length == record.plaintext_length + 29
+
+
+def test_session_rejects_bad_pad_block():
+    topology = build_adversary_path(seed=13)
+    tcp = TCPConnection(
+        topology.sim, topology.client, 50002,
+        topology.server.endpoint(443),
+    )
+    with pytest.raises(ValueError):
+        TLSSession(tcp, TLSRole.CLIENT, pad_block=-1)
+    with pytest.raises(ValueError):
+        # 3000 does not divide the 16 KiB fragment ceiling.
+        TLSSession(tcp, TLSRole.CLIENT, pad_block=3000)
+
+
+def test_chaff_dropped_before_application_layer():
+    sim, client, server = _padded_pair(pad_block=256)
+    received = []
+    server.on_application_record = (
+        lambda payload, dup: received.append(payload)
+    )
+    record = client.send_chaff(400)
+    assert record.plaintext_length == 512  # chaff is padded like data
+    sim.run_until(3.0)
+    assert received == []  # never surfaces
+    assert client.chaff_records_sent == 1
+    assert server.chaff_records_received == 1
+
+
+def test_chaff_requires_completed_handshake_and_positive_length():
+    topology = build_adversary_path(seed=14)
+    tcp = TCPConnection(
+        topology.sim, topology.client, 50003,
+        topology.server.endpoint(443),
+    )
+    session = TLSSession(tcp, TLSRole.CLIENT)
+    with pytest.raises(RuntimeError):
+        session.send_chaff(100)
+    sim, client, _ = _padded_pair()
+    with pytest.raises(ValueError):
+        client.send_chaff(0)
